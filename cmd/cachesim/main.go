@@ -1,0 +1,93 @@
+// Command cachesim runs a single cache-network simulation configuration
+// and prints the measured maximum load and communication cost.
+//
+// Examples:
+//
+//	cachesim -side 45 -k 500 -m 10 -strategy two-choices -radius 8 -trials 100
+//	cachesim -side 45 -k 2000 -m 1 -strategy nearest -gamma 0.8 -trials 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/grid"
+)
+
+func main() {
+	var (
+		side     = flag.Int("side", 45, "lattice side L (n = L^2 servers)")
+		topo     = flag.String("topology", "torus", "torus or grid")
+		k        = flag.Int("k", 500, "library size K")
+		m        = flag.Int("m", 10, "cache size M")
+		gamma    = flag.Float64("gamma", 0, "Zipf exponent (0 = uniform popularity)")
+		strategy = flag.String("strategy", "two-choices", "nearest, two-choices, one-choice or oracle")
+		radius   = flag.Int("radius", -1, "proximity radius r in hops (-1 = unbounded)")
+		choices  = flag.Int("choices", 2, "number of sampled candidates d")
+		requests = flag.Int("requests", 0, "requests per trial (0 = n)")
+		miss     = flag.String("miss", "resample", "miss policy: resample, escalate or origin")
+		trials   = flag.Int("trials", 50, "independent trials")
+		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		seed     = flag.Uint64("seed", 2017, "root random seed")
+	)
+	flag.Parse()
+
+	cfg, err := buildConfig(*side, *topo, *k, *m, *gamma, *strategy, *radius, *choices, *requests, *miss, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cachesim:", err)
+		os.Exit(2)
+	}
+	agg, err := repro.Run(cfg, *trials, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cachesim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("n=%d K=%d M=%d strategy=%s radius=%d trials=%d\n",
+		cfg.N(), cfg.K, cfg.M, cfg.Strategy.Kind, cfg.Strategy.Radius, agg.Trials)
+	fmt.Printf("max load:  %s\n", agg.MaxLoad.String())
+	fmt.Printf("comm cost: %s hops\n", agg.MeanCost.String())
+	fmt.Printf("escalated: %.4f of requests; backhaul: %.4f; uncached files/trial: %.1f\n",
+		agg.Escalated.Mean(), agg.Backhaul.Mean(), agg.Uncached.Mean())
+}
+
+// buildConfig translates CLI flags into a sim configuration.
+func buildConfig(side int, topo string, k, m int, gamma float64, strategy string,
+	radius, choices, requests int, miss string, seed uint64) (repro.Config, error) {
+	var cfg repro.Config
+	tp, err := grid.ParseTopology(topo)
+	if err != nil {
+		return cfg, err
+	}
+	cfg = repro.Config{
+		Side: side, Topology: tp, K: k, M: m,
+		Requests: requests, Seed: seed,
+	}
+	if gamma > 0 {
+		cfg.Popularity = repro.PopSpec{Kind: repro.PopZipf, Gamma: gamma}
+	}
+	switch strategy {
+	case "nearest":
+		cfg.Strategy = repro.StrategySpec{Kind: repro.Nearest}
+	case "two-choices", "two":
+		cfg.Strategy = repro.StrategySpec{Kind: repro.TwoChoices, Radius: radius, Choices: choices}
+	case "one-choice", "one":
+		cfg.Strategy = repro.StrategySpec{Kind: repro.OneChoiceRandom, Radius: radius}
+	case "oracle":
+		cfg.Strategy = repro.StrategySpec{Kind: repro.Oracle, Radius: radius}
+	default:
+		return cfg, fmt.Errorf("unknown strategy %q", strategy)
+	}
+	switch miss {
+	case "resample":
+		cfg.MissPolicy = repro.MissResample
+	case "escalate":
+		cfg.MissPolicy = repro.MissEscalate
+	case "origin":
+		cfg.MissPolicy = repro.MissOrigin
+	default:
+		return cfg, fmt.Errorf("unknown miss policy %q", miss)
+	}
+	return cfg, nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+
+	"repro"
+)
+
+func TestBuildConfigStrategies(t *testing.T) {
+	for name, want := range map[string]repro.StrategySpec{
+		"nearest":     {Kind: repro.Nearest},
+		"two-choices": {Kind: repro.TwoChoices, Radius: 5, Choices: 2},
+		"two":         {Kind: repro.TwoChoices, Radius: 5, Choices: 2},
+		"one-choice":  {Kind: repro.OneChoiceRandom, Radius: 5},
+		"one":         {Kind: repro.OneChoiceRandom, Radius: 5},
+		"oracle":      {Kind: repro.Oracle, Radius: 5},
+	} {
+		cfg, err := buildConfig(10, "torus", 50, 2, 0, name, 5, 2, 0, "resample", 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if cfg.Strategy != want {
+			t.Errorf("%s: spec %+v, want %+v", name, cfg.Strategy, want)
+		}
+	}
+}
+
+func TestBuildConfigErrors(t *testing.T) {
+	if _, err := buildConfig(10, "torus", 50, 2, 0, "bogus", 5, 2, 0, "resample", 1); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+	if _, err := buildConfig(10, "torus", 50, 2, 0, "nearest", 5, 2, 0, "bogus", 1); err == nil {
+		t.Error("bogus miss policy accepted")
+	}
+	if _, err := buildConfig(10, "moebius", 50, 2, 0, "nearest", 5, 2, 0, "resample", 1); err == nil {
+		t.Error("bogus topology accepted")
+	}
+}
+
+func TestBuildConfigPopularityAndMiss(t *testing.T) {
+	cfg, err := buildConfig(10, "grid", 50, 2, 1.5, "nearest", -1, 2, 33, "origin", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Popularity.Kind != repro.PopZipf || cfg.Popularity.Gamma != 1.5 {
+		t.Errorf("popularity %+v", cfg.Popularity)
+	}
+	if cfg.MissPolicy != repro.MissOrigin || cfg.Requests != 33 || cfg.Seed != 9 {
+		t.Errorf("cfg %+v", cfg)
+	}
+	// The produced config must actually run.
+	if _, err := repro.RunTrial(cfg, 0); err != nil {
+		t.Fatalf("built config does not run: %v", err)
+	}
+	for _, miss := range []string{"resample", "escalate"} {
+		if _, err := buildConfig(10, "torus", 50, 2, 0, "nearest", -1, 2, 0, miss, 1); err != nil {
+			t.Errorf("miss %s rejected: %v", miss, err)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command figures regenerates the paper's tables and figures as CSV files
+// plus a markdown summary on stdout.
+//
+// Examples:
+//
+//	figures -list
+//	figures -id fig1 -preset quick -out results/
+//	figures -id all -preset paper -out results/   # hours of CPU
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		id     = flag.String("id", "all", "experiment id or 'all' (see -list)")
+		preset = flag.String("preset", "quick", "quick or paper")
+		trials = flag.Int("trials", 0, "override trials per point (0 = preset default)")
+		out    = flag.String("out", "results", "output directory for CSV files")
+		seed   = flag.Uint64("seed", 2017, "root random seed")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, i := range repro.ExperimentIDs() {
+			fmt.Println(i)
+		}
+		return
+	}
+	p, err := experiments.ParsePreset(*preset)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(2)
+	}
+	opt := repro.ExpOptions{Preset: p, Trials: *trials, Seed: *seed}
+
+	ids := []string{*id}
+	if *id == "all" {
+		ids = repro.ExperimentIDs()
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	for _, eid := range ids {
+		start := time.Now()
+		table, err := repro.Experiment(eid, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", eid, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*out, eid+".csv")
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		if err := table.WriteCSV(f); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n(%s, wrote %s)\n\n", table.Markdown(), time.Since(start).Round(time.Millisecond), path)
+	}
+}

@@ -1,0 +1,47 @@
+// Supermarket example: the continuous-time view of §VI. Requests arrive
+// as a Poisson stream at per-server rate λ and each is dispatched to the
+// shorter of two sampled in-radius replicas' queues (JSQ(2)); we compare
+// against blind random dispatch as λ approaches saturation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	base := repro.QueueConfig{
+		Side: 25, K: 200, M: 8, // 625 servers, dense replication
+		Radius:  6,
+		Horizon: 400,
+		WarmUp:  80,
+		Seed:    3,
+	}
+	fmt.Printf("supermarket model: n=%d, K=%d, M=%d, r=%d, horizon=%.0f\n\n",
+		base.Side*base.Side, base.K, base.M, base.Radius, base.Horizon)
+	fmt.Printf("%-8s %-22s %-22s\n", "lambda", "JSQ(2): maxQ / sojourn", "random: maxQ / sojourn")
+	for _, lambda := range []float64{0.5, 0.7, 0.9, 0.95} {
+		jsq := base
+		jsq.Lambda = lambda
+		jsq.Choices = 2
+		rj, err := repro.RunQueue(jsq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rnd := base
+		rnd.Lambda = lambda
+		rnd.Choices = 1
+		rr, err := repro.RunQueue(rnd)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8.2f %-22s %-22s\n", lambda,
+			fmt.Sprintf("%d / %.2f", rj.MaxQueue, rj.Sojourn.Mean()),
+			fmt.Sprintf("%d / %.2f", rr.MaxQueue, rr.Sojourn.Mean()))
+	}
+	fmt.Println("\nAs λ → 1 the JSQ(2) max queue stays near-flat while random dispatch")
+	fmt.Println("blows up — the continuous-time power of two choices the paper")
+	fmt.Println("conjectures carries over from its balls-into-bins analysis.")
+}

@@ -1,0 +1,170 @@
+package repro_test
+
+// Cross-module integration tests: these validate consistency *between*
+// subsystems (strategies vs Voronoi tessellations, simulation cost vs
+// link-routing totals, configuration graph vs the live strategy), which no
+// single package's unit tests can see.
+
+import (
+	"math"
+	"testing"
+
+	"repro"
+	"repro/internal/ballsbins"
+	"repro/internal/cache"
+	"repro/internal/confgraph"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/grid"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/voronoi"
+	"repro/internal/xrand"
+)
+
+func TestNearestStrategyAgreesWithVoronoi(t *testing.T) {
+	// Strategy I must serve every request at exactly the Voronoi distance
+	// of the request's file.
+	g := grid.New(12, grid.Torus)
+	p := cache.Place(g.N(), 2, dist.NewUniform(30), cache.WithReplacement,
+		xrand.NewSource(3).Stream(0))
+	strat := core.NewNearestReplica(g, p)
+	loads := ballsbins.NewLoads(g.N())
+	r := xrand.NewSource(4).Stream(0)
+	for j := 0; j < p.K(); j++ {
+		if len(p.Replicas(j)) == 0 {
+			continue
+		}
+		tess := voronoi.Compute(g, p, j, r)
+		for u := 0; u < g.N(); u += 7 {
+			a := strat.Assign(core.Request{Origin: int32(u), File: int32(j)}, loads, r)
+			if a.Hops != tess.Dist[u] {
+				t.Fatalf("file %d origin %d: strategy %d hops, voronoi %d", j, u, a.Hops, tess.Dist[u])
+			}
+		}
+	}
+}
+
+func TestSimCostMatchesRoutedLinkTotals(t *testing.T) {
+	// The engine's mean cost times requests must equal total link
+	// crossings: the scalar metric and the wire-level metric are two
+	// views of the same deliveries.
+	g := grid.New(10, grid.Torus)
+	p := cache.Place(g.N(), 3, dist.NewUniform(40), cache.WithReplacement,
+		xrand.NewSource(5).Stream(0))
+	strat := core.NewTwoChoice(g, p, core.TwoChoiceConfig{Radius: 4})
+	loads := ballsbins.NewLoads(g.N())
+	links := routing.NewLinkLoads(g)
+	r := xrand.NewSource(6).Stream(0)
+	var hops int64
+	const reqs = 400
+	for i := 0; i < reqs; i++ {
+		file := r.IntN(p.K())
+		if len(p.Replicas(file)) == 0 {
+			continue
+		}
+		req := core.Request{Origin: int32(r.IntN(g.N())), File: int32(file)}
+		a := strat.Assign(req, loads, r)
+		loads.Add(int(a.Server))
+		hops += int64(a.Hops)
+		links.Route(int(req.Origin), int(a.Server))
+	}
+	if links.Total() != hops {
+		t.Fatalf("link crossings %d != summed hops %d", links.Total(), hops)
+	}
+}
+
+func TestConfigGraphPredictsStrategyIILoad(t *testing.T) {
+	// Theorem 4's proof route: Strategy II ≈ edge sampling on H followed
+	// by lesser-loaded placement (Theorem 5). The two processes must land
+	// at similar average max loads on the same world.
+	g := grid.New(45, grid.Torus)
+	n := g.N()
+	m := int(math.Pow(float64(n), 0.4))
+	radius := 14
+	src := xrand.NewSource(7)
+	const trials = 4
+	var simSum, graphSum float64
+	for i := 0; i < trials; i++ {
+		p := cache.Place(n, m, dist.NewUniform(n), cache.WithReplacement, src.Stream(uint64(i)))
+		// Live Strategy II.
+		strat := core.NewTwoChoice(g, p, core.TwoChoiceConfig{Radius: radius})
+		loads := ballsbins.NewLoads(n)
+		r := src.Stream(uint64(100 + i))
+		for q := 0; q < n; q++ {
+			file := r.IntN(p.K())
+			if len(p.Replicas(file)) == 0 {
+				continue
+			}
+			a := strat.Assign(core.Request{Origin: int32(r.IntN(n)), File: int32(file)}, loads, r)
+			loads.Add(int(a.Server))
+		}
+		simSum += float64(loads.Max())
+		// Theorem 5 process on H.
+		h := confgraph.Build(g, p, radius)
+		graphSum += float64(ballsbins.GraphAllocate(h, n, src.Stream(uint64(200+i))).Max())
+	}
+	simAvg, graphAvg := simSum/trials, graphSum/trials
+	if diff := math.Abs(simAvg - graphAvg); diff > 1.5 {
+		t.Fatalf("Strategy II max load %.2f vs Theorem 5 process %.2f differ by %.2f (> 1.5)",
+			simAvg, graphAvg, diff)
+	}
+}
+
+func TestStrategyOrderingInvariant(t *testing.T) {
+	// Global sanity across the whole stack: oracle ≤ two-choices ≤
+	// one-choice in average max load, on the same worlds, via the public
+	// facade only.
+	mk := func(kind sim.StrategyKind) repro.Config {
+		return repro.Config{
+			Side: 30, K: 100, M: 8, Seed: 11,
+			Strategy: repro.StrategySpec{Kind: kind, Radius: repro.RadiusUnbounded},
+		}
+	}
+	const trials = 12
+	orc, err := repro.Run(mk(repro.Oracle), trials, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := repro.Run(mk(repro.TwoChoices), trials, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := repro.Run(mk(repro.OneChoiceRandom), trials, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(orc.MaxLoad.Mean() <= two.MaxLoad.Mean()+0.3) {
+		t.Fatalf("oracle %.2f above two-choices %.2f", orc.MaxLoad.Mean(), two.MaxLoad.Mean())
+	}
+	if !(two.MaxLoad.Mean() < one.MaxLoad.Mean()) {
+		t.Fatalf("two-choices %.2f not below one-choice %.2f", two.MaxLoad.Mean(), one.MaxLoad.Mean())
+	}
+}
+
+func TestTheorem4ShapeEndToEnd(t *testing.T) {
+	// The headline claim, end to end through the facade: in the
+	// above-threshold regime, Strategy II's max load grows dramatically
+	// slower than Strategy I's between two network sizes.
+	if testing.Short() {
+		t.Skip("multi-size study skipped in -short")
+	}
+	run := func(side int, kind sim.StrategyKind, radius int) float64 {
+		cfg := repro.Config{Side: side, K: side * side, M: int(math.Pow(float64(side*side), 0.4)), Seed: 13}
+		cfg.Strategy = repro.StrategySpec{Kind: kind, Radius: radius}
+		agg, err := repro.Run(cfg, 10, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agg.MaxLoad.Mean()
+	}
+	rad := func(side int) int {
+		return int(math.Ceil(math.Pow(float64(side*side), 0.35)))
+	}
+	growthI := run(60, repro.Nearest, 0) - run(15, repro.Nearest, 0)
+	growthII := run(60, repro.TwoChoices, rad(60)) - run(15, repro.TwoChoices, rad(15))
+	if growthII >= growthI {
+		t.Fatalf("Strategy II growth %.2f not below Strategy I growth %.2f across 16x n",
+			growthII, growthI)
+	}
+}

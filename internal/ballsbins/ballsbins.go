@@ -1,0 +1,203 @@
+// Package ballsbins implements the classical balanced-allocation models the
+// paper builds on: the one-choice process (max load Θ(log n / log log n)),
+// the d-choice process of Azar et al. (max load log log n / log d + Θ(1)),
+// and the graph-restricted allocation of Kenthapadi & Panigrahy (Theorem 5),
+// where each ball picks a random edge of a bin graph and goes to the
+// lighter endpoint. These serve as analytic baselines for the cache-network
+// strategies and as property-test oracles.
+package ballsbins
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Loads tracks per-bin occupancy during an allocation process.
+type Loads struct {
+	bins []int32
+	max  int32
+}
+
+// NewLoads returns an all-zero load vector over n bins.
+func NewLoads(n int) *Loads {
+	if n <= 0 {
+		panic(fmt.Sprintf("ballsbins: need n > 0 bins, got %d", n))
+	}
+	return &Loads{bins: make([]int32, n)}
+}
+
+// N returns the number of bins.
+func (l *Loads) N() int { return len(l.bins) }
+
+// Load returns the current load of bin i.
+func (l *Loads) Load(i int) int { return int(l.bins[i]) }
+
+// Add places one ball into bin i.
+func (l *Loads) Add(i int) {
+	l.bins[i]++
+	if l.bins[i] > l.max {
+		l.max = l.bins[i]
+	}
+}
+
+// Max returns the current maximum load.
+func (l *Loads) Max() int { return int(l.max) }
+
+// Total returns the number of balls placed so far.
+func (l *Loads) Total() int {
+	t := 0
+	for _, b := range l.bins {
+		t += int(b)
+	}
+	return t
+}
+
+// Histogram returns counts[v] = number of bins with load exactly v.
+func (l *Loads) Histogram() []int {
+	h := make([]int, l.max+1)
+	for _, b := range l.bins {
+		h[b]++
+	}
+	return h
+}
+
+// PickLesser returns whichever of bins a, b currently has the smaller
+// load, breaking ties uniformly at random — the paper's tie rule.
+func (l *Loads) PickLesser(a, b int, r *rand.Rand) int {
+	switch {
+	case l.bins[a] < l.bins[b]:
+		return a
+	case l.bins[b] < l.bins[a]:
+		return b
+	case r.IntN(2) == 0:
+		return a
+	default:
+		return b
+	}
+}
+
+// OneChoice throws m balls into n bins uniformly and returns the loads.
+func OneChoice(n, m int, r *rand.Rand) *Loads {
+	l := NewLoads(n)
+	for i := 0; i < m; i++ {
+		l.Add(r.IntN(n))
+	}
+	return l
+}
+
+// DChoice throws m balls into n bins; each ball samples d independent
+// uniform bins (with replacement, the Azar et al. model) and joins the
+// least loaded, ties broken uniformly among the minima.
+func DChoice(n, m, d int, r *rand.Rand) *Loads {
+	if d < 1 {
+		panic(fmt.Sprintf("ballsbins: need d >= 1 choices, got %d", d))
+	}
+	l := NewLoads(n)
+	for i := 0; i < m; i++ {
+		best := r.IntN(n)
+		ties := 1
+		for c := 1; c < d; c++ {
+			cand := r.IntN(n)
+			switch {
+			case l.bins[cand] < l.bins[best]:
+				best = cand
+				ties = 1
+			case l.bins[cand] == l.bins[best] && cand != best:
+				// Reservoir-style uniform tie breaking among minima.
+				ties++
+				if r.IntN(ties) == 0 {
+					best = cand
+				}
+			}
+		}
+		l.Add(best)
+	}
+	return l
+}
+
+// TwoChoice is DChoice with d = 2, the paper's Example 1 reference model.
+func TwoChoice(n, m int, r *rand.Rand) *Loads { return DChoice(n, m, 2, r) }
+
+// EdgeGraph is the minimal bin-graph interface for the Kenthapadi–
+// Panigrahy process: a set of edges sampled by index.
+type EdgeGraph interface {
+	// NumEdges returns e(G).
+	NumEdges() int
+	// Edge returns the endpoints of edge i.
+	Edge(i int) (u, v int)
+	// NumNodes returns the number of bins.
+	NumNodes() int
+}
+
+// GraphAllocate throws m balls: each ball picks a uniform random edge of g
+// and joins the lighter endpoint (ties uniform). This is the allocation
+// process of Theorem 5 ([10] in the paper).
+func GraphAllocate(g EdgeGraph, m int, r *rand.Rand) *Loads {
+	if g.NumEdges() == 0 {
+		panic("ballsbins: graph has no edges")
+	}
+	l := NewLoads(g.NumNodes())
+	for i := 0; i < m; i++ {
+		u, v := g.Edge(r.IntN(g.NumEdges()))
+		l.Add(l.PickLesser(u, v, r))
+	}
+	return l
+}
+
+// EdgeList is a concrete EdgeGraph backed by a slice of endpoint pairs.
+type EdgeList struct {
+	Nodes int
+	Ends  [][2]int32
+}
+
+// NumEdges implements EdgeGraph.
+func (e *EdgeList) NumEdges() int { return len(e.Ends) }
+
+// Edge implements EdgeGraph.
+func (e *EdgeList) Edge(i int) (int, int) { return int(e.Ends[i][0]), int(e.Ends[i][1]) }
+
+// NumNodes implements EdgeGraph.
+func (e *EdgeList) NumNodes() int { return e.Nodes }
+
+// CompleteGraph returns the edge list of K_n; GraphAllocate on it recovers
+// the unrestricted two-choice process (up to self-pair sampling).
+func CompleteGraph(n int) *EdgeList {
+	e := &EdgeList{Nodes: n}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			e.Ends = append(e.Ends, [2]int32{int32(u), int32(v)})
+		}
+	}
+	return e
+}
+
+// RingGraph returns the cycle C_n, a maximally sparse regular graph where
+// the power of two choices is known to fail (max load Ω(log n)).
+func RingGraph(n int) *EdgeList {
+	e := &EdgeList{Nodes: n}
+	for u := 0; u < n; u++ {
+		e.Ends = append(e.Ends, [2]int32{int32(u), int32((u + 1) % n)})
+	}
+	return e
+}
+
+// TheoryOneChoiceMax returns the asymptotic one-choice maximum load for
+// m = n balls: log n / log log n (leading order).
+func TheoryOneChoiceMax(n int) float64 {
+	ln := math.Log(float64(n))
+	if ln <= 1 {
+		return 1
+	}
+	return ln / math.Log(ln)
+}
+
+// TheoryTwoChoiceMax returns the asymptotic two-choice maximum load for
+// m = n balls: log log n / log 2 (leading order).
+func TheoryTwoChoiceMax(n int) float64 {
+	ln := math.Log(float64(n))
+	if ln <= 1 {
+		return 1
+	}
+	return math.Log(ln) / math.Ln2
+}

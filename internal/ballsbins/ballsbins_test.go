@@ -1,0 +1,213 @@
+package ballsbins
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestLoadsBasics(t *testing.T) {
+	l := NewLoads(5)
+	if l.N() != 5 || l.Max() != 0 || l.Total() != 0 {
+		t.Fatal("fresh loads not zero")
+	}
+	l.Add(2)
+	l.Add(2)
+	l.Add(4)
+	if l.Load(2) != 2 || l.Load(4) != 1 || l.Load(0) != 0 {
+		t.Fatalf("loads wrong: %v %v %v", l.Load(2), l.Load(4), l.Load(0))
+	}
+	if l.Max() != 2 || l.Total() != 3 {
+		t.Fatalf("max=%d total=%d", l.Max(), l.Total())
+	}
+	h := l.Histogram()
+	if h[0] != 3 || h[1] != 1 || h[2] != 1 {
+		t.Fatalf("histogram %v", h)
+	}
+}
+
+func TestNewLoadsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLoads(0) did not panic")
+		}
+	}()
+	NewLoads(0)
+}
+
+func TestPickLesser(t *testing.T) {
+	r := xrand.NewSource(0).Stream(0)
+	l := NewLoads(3)
+	l.Add(0)
+	if got := l.PickLesser(0, 1, r); got != 1 {
+		t.Fatalf("PickLesser chose loaded bin %d", got)
+	}
+	if got := l.PickLesser(1, 0, r); got != 1 {
+		t.Fatalf("PickLesser chose loaded bin %d (swapped)", got)
+	}
+	// Ties are ~uniform.
+	c0 := 0
+	for i := 0; i < 10000; i++ {
+		if l.PickLesser(1, 2, r) == 1 {
+			c0++
+		}
+	}
+	if c0 < 4500 || c0 > 5500 {
+		t.Fatalf("tie break picked first %d/10000 times", c0)
+	}
+}
+
+func TestProcessesConserveBalls(t *testing.T) {
+	prop := func(seed uint64, nRaw, mRaw uint8, dRaw uint8) bool {
+		n := int(nRaw)%50 + 1
+		m := int(mRaw) % 200
+		d := int(dRaw)%4 + 1
+		r := xrand.NewSource(seed).Stream(0)
+		if OneChoice(n, m, r).Total() != m {
+			return false
+		}
+		if DChoice(n, m, d, r).Total() != m {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDChoicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DChoice d=0 did not panic")
+		}
+	}()
+	DChoice(10, 10, 0, xrand.NewSource(0).Stream(0))
+}
+
+func TestMaxLoadMonotoneInChoices(t *testing.T) {
+	// Averaged over trials, more choices ⇒ lower (or equal) max load.
+	src := xrand.NewSource(42)
+	n, m, trials := 1000, 1000, 40
+	avg := func(d int) float64 {
+		s := 0
+		for i := 0; i < trials; i++ {
+			s += DChoice(n, m, d, src.Stream(uint64(d*1000+i))).Max()
+		}
+		return float64(s) / float64(trials)
+	}
+	a1, a2, a4 := avg(1), avg(2), avg(4)
+	if !(a1 > a2 && a2 >= a4) {
+		t.Fatalf("max load not decreasing in d: d=1:%.2f d=2:%.2f d=4:%.2f", a1, a2, a4)
+	}
+	// The d=1 → d=2 gap must be substantial (exponential improvement):
+	// for n = 1000, one-choice ≈ 5-7 and two-choice ≈ 2-3.
+	if a1-a2 < 1.5 {
+		t.Fatalf("two-choice improvement too small: %.2f vs %.2f", a1, a2)
+	}
+}
+
+func TestTwoChoiceMatchesTheoryScale(t *testing.T) {
+	// For n = m = 4096, two-choice max load should hug
+	// log log n / log 2 + O(1) ≈ 3.05 + O(1): assert it's within [2, 6].
+	src := xrand.NewSource(7)
+	sum := 0
+	const trials = 25
+	for i := 0; i < trials; i++ {
+		sum += TwoChoice(4096, 4096, src.Stream(uint64(i))).Max()
+	}
+	got := float64(sum) / trials
+	if got < 2 || got > 6 {
+		t.Fatalf("two-choice avg max load %v, want within [2, 6] near theory %.2f",
+			got, TheoryTwoChoiceMax(4096))
+	}
+}
+
+func TestGraphAllocateCompleteEqualsTwoChoice(t *testing.T) {
+	// On K_n the graph process is the two-choice process without
+	// self-pairs; average max loads should agree within noise.
+	src := xrand.NewSource(11)
+	n := 256
+	kn := CompleteGraph(n)
+	const trials = 60
+	sumG, sumT := 0, 0
+	for i := 0; i < trials; i++ {
+		sumG += GraphAllocate(kn, n, src.Stream(uint64(i))).Max()
+		sumT += TwoChoice(n, n, src.Stream(uint64(1000+i))).Max()
+	}
+	ag, at := float64(sumG)/trials, float64(sumT)/trials
+	if diff := ag - at; diff < -0.75 || diff > 0.75 {
+		t.Fatalf("K_n graph alloc %.2f vs two-choice %.2f differ beyond noise", ag, at)
+	}
+}
+
+func TestGraphAllocateRingWorseThanComplete(t *testing.T) {
+	// Theorem 5 needs ∆ ≥ polylog; the ring (∆=2) must lose to K_n.
+	src := xrand.NewSource(13)
+	n := 4096
+	ring := RingGraph(n)
+	kn := CompleteGraph(n)
+	const trials = 30
+	sr, sk := 0, 0
+	for i := 0; i < trials; i++ {
+		sr += GraphAllocate(ring, n, src.Stream(uint64(i))).Max()
+		sk += GraphAllocate(kn, n, src.Stream(uint64(500+i))).Max()
+	}
+	if !(float64(sr)/trials > float64(sk)/trials+0.4) {
+		t.Fatalf("ring avg %.2f should exceed complete avg %.2f markedly",
+			float64(sr)/trials, float64(sk)/trials)
+	}
+}
+
+func TestGraphAllocatePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty graph did not panic")
+		}
+	}()
+	GraphAllocate(&EdgeList{Nodes: 3}, 1, xrand.NewSource(0).Stream(0))
+}
+
+func TestEdgeLists(t *testing.T) {
+	kn := CompleteGraph(5)
+	if kn.NumEdges() != 10 || kn.NumNodes() != 5 {
+		t.Fatalf("K_5: %d edges %d nodes", kn.NumEdges(), kn.NumNodes())
+	}
+	ring := RingGraph(5)
+	if ring.NumEdges() != 5 {
+		t.Fatalf("C_5: %d edges", ring.NumEdges())
+	}
+	u, v := ring.Edge(4)
+	if u != 4 || v != 0 {
+		t.Fatalf("C_5 closing edge (%d,%d)", u, v)
+	}
+}
+
+func TestTheoryCurvesMonotone(t *testing.T) {
+	if !(TheoryOneChoiceMax(1000) > TheoryTwoChoiceMax(1000)) {
+		t.Fatal("one-choice theory must exceed two-choice theory")
+	}
+	if !(TheoryOneChoiceMax(100000) > TheoryOneChoiceMax(100)) {
+		t.Fatal("one-choice theory must grow with n")
+	}
+	if TheoryTwoChoiceMax(4) < 0 || TheoryOneChoiceMax(2) < 0 {
+		t.Fatal("theory curves must be non-negative for tiny n")
+	}
+}
+
+func BenchmarkTwoChoice(b *testing.B) {
+	src := xrand.NewSource(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = TwoChoice(10000, 10000, src.Stream(uint64(i)))
+	}
+}
+
+func BenchmarkGraphAllocateRing(b *testing.B) {
+	ring := RingGraph(10000)
+	src := xrand.NewSource(2)
+	for i := 0; i < b.N; i++ {
+		_ = GraphAllocate(ring, 10000, src.Stream(uint64(i)))
+	}
+}

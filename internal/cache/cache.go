@@ -1,0 +1,278 @@
+// Package cache implements the paper's cache content placement phase
+// (§II-B): every node independently caches M files drawn i.i.d. from the
+// popularity profile *with replacement* (proportional placement). The
+// package also maintains the inverted replica index used by both request
+// assignment strategies, and exposes the structural quantities t(u) and
+// t(u,v) from the goodness property (Definition 5, Lemma 2).
+package cache
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"repro/internal/dist"
+)
+
+// Mode selects how the M slots of a node are filled.
+type Mode int
+
+const (
+	// WithReplacement matches the paper: M i.i.d. draws per node, so a
+	// node may cache fewer than M *distinct* files (t(u) ≤ M).
+	WithReplacement Mode = iota
+	// WithoutReplacement is an ablation variant: M distinct files per
+	// node, drawn by popularity-weighted sampling without replacement.
+	WithoutReplacement
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case WithReplacement:
+		return "with-replacement"
+	case WithoutReplacement:
+		return "without-replacement"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Placement is an immutable cache assignment for n nodes over a K-file
+// library. Build one per simulation trial with Place.
+type Placement struct {
+	n, k, m int
+
+	// nodeFiles[u] lists the distinct files cached at node u, sorted
+	// ascending (length t(u) ≤ M).
+	nodeFiles [][]int32
+
+	// replicas[j] lists the nodes caching file j (sorted ascending).
+	// This is S_j in the paper's notation.
+	replicas [][]int32
+
+	// cachedFiles lists files with at least one replica, ascending.
+	cachedFiles []int32
+}
+
+// Place draws a placement: n nodes, M slots each, files sampled from pop.
+// It panics on non-positive n or m (misconfiguration, not runtime input).
+func Place(n, m int, pop dist.Popularity, mode Mode, r *rand.Rand) *Placement {
+	if n <= 0 || m <= 0 {
+		panic(fmt.Sprintf("cache: need n > 0 and m > 0, got n=%d m=%d", n, m))
+	}
+	k := pop.K()
+	p := &Placement{
+		n:         n,
+		k:         k,
+		m:         m,
+		nodeFiles: make([][]int32, n),
+		replicas:  make([][]int32, k),
+	}
+	scratch := make([]int32, 0, m)
+	for u := 0; u < n; u++ {
+		scratch = scratch[:0]
+		switch mode {
+		case WithReplacement:
+			for s := 0; s < m; s++ {
+				scratch = append(scratch, int32(pop.Sample(r)))
+			}
+		case WithoutReplacement:
+			if m >= k {
+				// Degenerate: cache the whole library.
+				for j := 0; j < k; j++ {
+					scratch = append(scratch, int32(j))
+				}
+			} else {
+				// Rejection sampling is fast while m << K (the paper's
+				// M ≪ K standing assumption); fall back to a marked
+				// sweep when the ratio is high.
+				seen := make(map[int32]bool, m)
+				tries := 0
+				for len(scratch) < m {
+					f := int32(pop.Sample(r))
+					if !seen[f] {
+						seen[f] = true
+						scratch = append(scratch, f)
+					}
+					tries++
+					if tries > 64*m && len(scratch) < m {
+						scratch = fillRemainder(scratch, m, seen, k, r)
+						break
+					}
+				}
+			}
+		default:
+			panic(fmt.Sprintf("cache: unknown mode %v", mode))
+		}
+		p.setNode(u, scratch)
+	}
+	for j, s := range p.replicas {
+		if len(s) > 0 {
+			p.cachedFiles = append(p.cachedFiles, int32(j))
+		}
+		_ = s
+	}
+	return p
+}
+
+// fillRemainder completes a without-replacement draw uniformly over the
+// unseen files when popularity rejection stalls (extremely skewed Zipf).
+func fillRemainder(scratch []int32, m int, seen map[int32]bool, k int, r *rand.Rand) []int32 {
+	missing := make([]int32, 0, k-len(seen))
+	for j := int32(0); j < int32(k); j++ {
+		if !seen[j] {
+			missing = append(missing, j)
+		}
+	}
+	for len(scratch) < m && len(missing) > 0 {
+		i := r.IntN(len(missing))
+		scratch = append(scratch, missing[i])
+		missing[i] = missing[len(missing)-1]
+		missing = missing[:len(missing)-1]
+	}
+	return scratch
+}
+
+// setNode dedupes, sorts and stores the slot draws for node u and updates
+// the replica index.
+func (p *Placement) setNode(u int, slots []int32) {
+	distinct := append([]int32(nil), slots...)
+	sort.Slice(distinct, func(i, j int) bool { return distinct[i] < distinct[j] })
+	w := 0
+	for i, f := range distinct {
+		if i == 0 || f != distinct[w-1] {
+			distinct[w] = f
+			w++
+		}
+	}
+	distinct = distinct[:w]
+	p.nodeFiles[u] = distinct
+	for _, f := range distinct {
+		p.replicas[f] = append(p.replicas[f], int32(u))
+	}
+}
+
+// N returns the number of nodes.
+func (p *Placement) N() int { return p.n }
+
+// K returns the library size.
+func (p *Placement) K() int { return p.k }
+
+// M returns the per-node slot count.
+func (p *Placement) M() int { return p.m }
+
+// Replicas returns S_j, the sorted node list caching file j. The caller
+// must not mutate the returned slice.
+func (p *Placement) Replicas(j int) []int32 { return p.replicas[j] }
+
+// NodeFiles returns the sorted distinct files cached at node u. The caller
+// must not mutate the returned slice.
+func (p *Placement) NodeFiles(u int) []int32 { return p.nodeFiles[u] }
+
+// Has reports whether node u caches file j (binary search, O(log t(u))).
+func (p *Placement) Has(u, j int) bool {
+	files := p.nodeFiles[u]
+	i := sort.Search(len(files), func(i int) bool { return files[i] >= int32(j) })
+	return i < len(files) && files[i] == int32(j)
+}
+
+// T returns t(u), the number of distinct files cached at node u.
+func (p *Placement) T(u int) int { return len(p.nodeFiles[u]) }
+
+// TPair returns t(u,v) = |T(u,v)|, the number of distinct files cached at
+// both u and v, via sorted-list intersection.
+func (p *Placement) TPair(u, v int) int {
+	a, b := p.nodeFiles[u], p.nodeFiles[v]
+	t, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			t++
+			i++
+			j++
+		}
+	}
+	return t
+}
+
+// CachedFiles returns the sorted list of files with at least one replica
+// anywhere in the network. The caller must not mutate the returned slice.
+func (p *Placement) CachedFiles() []int32 { return p.cachedFiles }
+
+// UncachedCount returns the number of library files with zero replicas.
+// Non-zero values trigger the miss policies discussed in DESIGN.md §4.4.
+func (p *Placement) UncachedCount() int { return p.k - len(p.cachedFiles) }
+
+// Goodness summarizes Definition 5: the placement is (δ, µ)-good when
+// every node has t(u) ≥ δM and every sampled pair has t(u,v) < µ.
+type Goodness struct {
+	MinT     int     // min_u t(u)
+	MeanT    float64 // average t(u)
+	MaxPairT int     // max t(u,v) over the sampled pairs
+	Pairs    int     // number of pairs inspected
+}
+
+// IsGood reports whether the summary satisfies the (δ, µ) thresholds.
+func (g Goodness) IsGood(delta float64, mu int, m int) bool {
+	return float64(g.MinT) >= delta*float64(m) && g.MaxPairT < mu
+}
+
+// CheckGoodness computes the goodness summary. Exhaustive pair checking is
+// Θ(n²); pairSamples > 0 bounds the work by sampling random pairs instead
+// (0 means exhaustive, which is fine for n ≤ a few thousand).
+func (p *Placement) CheckGoodness(pairSamples int, r *rand.Rand) Goodness {
+	g := Goodness{MinT: p.m + 1}
+	sum := 0
+	for u := 0; u < p.n; u++ {
+		t := p.T(u)
+		sum += t
+		if t < g.MinT {
+			g.MinT = t
+		}
+	}
+	g.MeanT = float64(sum) / float64(p.n)
+	if pairSamples <= 0 {
+		for u := 0; u < p.n; u++ {
+			for v := u + 1; v < p.n; v++ {
+				if t := p.TPair(u, v); t > g.MaxPairT {
+					g.MaxPairT = t
+				}
+				g.Pairs++
+			}
+		}
+		return g
+	}
+	for i := 0; i < pairSamples; i++ {
+		u := r.IntN(p.n)
+		v := r.IntN(p.n)
+		if u == v {
+			continue
+		}
+		if t := p.TPair(u, v); t > g.MaxPairT {
+			g.MaxPairT = t
+		}
+		g.Pairs++
+	}
+	return g
+}
+
+// ReplicaCountHistogram returns counts[c] = number of files with exactly c
+// replicas, for c in 0..n (used by Example 2's analysis and by tests).
+func (p *Placement) ReplicaCountHistogram() []int {
+	maxC := 0
+	for _, s := range p.replicas {
+		if len(s) > maxC {
+			maxC = len(s)
+		}
+	}
+	counts := make([]int, maxC+1)
+	for _, s := range p.replicas {
+		counts[len(s)]++
+	}
+	return counts
+}

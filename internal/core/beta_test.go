@@ -1,0 +1,57 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ballsbins"
+	"repro/internal/xrand"
+)
+
+func TestBetaValidation(t *testing.T) {
+	g, p := testWorld(5, 3, 1, 1)
+	for _, bad := range []float64{-0.1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("beta %v accepted", bad)
+				}
+			}()
+			NewTwoChoice(g, p, TwoChoiceConfig{Beta: bad})
+		}()
+	}
+	// Boundary values are legal (mean "always d choices").
+	NewTwoChoice(g, p, TwoChoiceConfig{Beta: 0})
+	NewTwoChoice(g, p, TwoChoiceConfig{Beta: 1})
+}
+
+func TestBetaInterpolatesMaxLoad(t *testing.T) {
+	// Run the same allocation with β ∈ {~0, 0.5, ~1}: average max load
+	// must interpolate between the one-choice and two-choice levels.
+	g, p := testWorld(32, 64, 4, 5) // n=1024, ~64 replicas/file
+	src := xrand.NewSource(6)
+	avgMax := func(beta float64) float64 {
+		const trials = 12
+		sum := 0
+		for i := 0; i < trials; i++ {
+			s := NewTwoChoice(g, p, TwoChoiceConfig{Radius: RadiusUnbounded, Beta: beta})
+			r := src.Stream(uint64(i) + uint64(beta*1e6))
+			loads := ballsbins.NewLoads(g.N())
+			for q := 0; q < g.N(); q++ {
+				req := Request{Origin: int32(r.IntN(g.N())), File: int32(r.IntN(p.K()))}
+				if len(p.Replicas(int(req.File))) == 0 {
+					continue
+				}
+				a := s.Assign(req, loads, r)
+				loads.Add(int(a.Server))
+			}
+			sum += loads.Max()
+		}
+		return float64(sum) / trials
+	}
+	lo := avgMax(0.001) // ≈ one choice
+	mid := avgMax(0.5)
+	hi := avgMax(0.999) // ≈ two choices
+	if !(hi < mid && mid < lo) {
+		t.Fatalf("beta does not interpolate: β≈0 %.2f, β=0.5 %.2f, β≈1 %.2f", lo, mid, hi)
+	}
+}

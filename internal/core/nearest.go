@@ -1,0 +1,153 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/ballsbins"
+	"repro/internal/cache"
+	"repro/internal/grid"
+)
+
+// NearestReplica is Strategy I (Definition 2): assign each request to the
+// closest node caching the file, ties broken uniformly at random.
+//
+// Two exact search procedures are available and chosen adaptively per
+// request (DESIGN.md §4.5):
+//
+//   - ring search: expand rings d = 0, 1, 2, ... around the origin until a
+//     ring contains a replica; expected probes ≈ n/|S_j|;
+//   - replica scan: walk the file's replica list computing distances;
+//     probes = |S_j|.
+//
+// The crossover sits at |S_j| ≈ √n. Both return the same distribution
+// (property-tested), so the adaptive pick is purely a performance choice.
+type NearestReplica struct {
+	common
+	sqrtN    int
+	ringBuf  []int32
+	tieBuf   []int32
+	searchFn SearchMode
+}
+
+// SearchMode forces a specific nearest-replica search procedure; the zero
+// value (SearchAdaptive) picks per request.
+type SearchMode int
+
+const (
+	// SearchAdaptive switches between ring and scan per request based on
+	// replica density.
+	SearchAdaptive SearchMode = iota
+	// SearchRing always expands rings outward from the origin.
+	SearchRing
+	// SearchScan always walks the replica list.
+	SearchScan
+)
+
+// String implements fmt.Stringer.
+func (m SearchMode) String() string {
+	switch m {
+	case SearchAdaptive:
+		return "adaptive"
+	case SearchRing:
+		return "ring"
+	case SearchScan:
+		return "scan"
+	default:
+		return "unknown"
+	}
+}
+
+// NewNearestReplica builds Strategy I over the given topology/placement.
+func NewNearestReplica(g *grid.Grid, p *cache.Placement) *NearestReplica {
+	return NewNearestReplicaMode(g, p, SearchAdaptive)
+}
+
+// NewNearestReplicaMode builds Strategy I with a forced search procedure
+// (used by the ablation benchmarks).
+func NewNearestReplicaMode(g *grid.Grid, p *cache.Placement, mode SearchMode) *NearestReplica {
+	return &NearestReplica{
+		common:   newCommon(g, p),
+		sqrtN:    int(math.Sqrt(float64(g.N()))),
+		searchFn: mode,
+	}
+}
+
+// Name implements Strategy.
+func (s *NearestReplica) Name() string { return "nearest-replica" }
+
+// Assign implements Strategy.
+func (s *NearestReplica) Assign(req Request, _ *ballsbins.Loads, r *rand.Rand) Assignment {
+	reps := s.p.Replicas(int(req.File))
+	if len(reps) == 0 {
+		return backhaul(req)
+	}
+	var server int32
+	switch {
+	case s.searchFn == SearchRing,
+		s.searchFn == SearchAdaptive && len(reps) > s.sqrtN:
+		server = s.ringSearch(req, r)
+	default:
+		server = s.scanSearch(req, reps, r)
+	}
+	return assignmentTo(s.g, req, server, false)
+}
+
+// ringSearch expands rings until one contains a replica, then picks
+// uniformly among that ring's replicas.
+func (s *NearestReplica) ringSearch(req Request, r *rand.Rand) int32 {
+	for d := 0; d <= s.g.Diameter(); d++ {
+		s.ringBuf = s.g.Ring(int(req.Origin), d, s.ringBuf[:0])
+		s.tieBuf = s.tieBuf[:0]
+		for _, v := range s.ringBuf {
+			if s.p.Has(int(v), int(req.File)) {
+				s.tieBuf = append(s.tieBuf, v)
+			}
+		}
+		if len(s.tieBuf) > 0 {
+			return s.tieBuf[r.IntN(len(s.tieBuf))]
+		}
+	}
+	// Unreachable when the replica list is non-empty.
+	panic("core: ring search exhausted the torus with a non-empty replica set")
+}
+
+// scanSearch walks the replica list, tracking the minimum distance and
+// reservoir-sampling uniformly among ties without allocating.
+func (s *NearestReplica) scanSearch(req Request, reps []int32, r *rand.Rand) int32 {
+	best := reps[0]
+	bestD := s.g.Dist(int(req.Origin), int(best))
+	ties := 1
+	for _, v := range reps[1:] {
+		d := s.g.Dist(int(req.Origin), int(v))
+		switch {
+		case d < bestD:
+			best, bestD, ties = v, d, 1
+		case d == bestD:
+			ties++
+			if r.IntN(ties) == 0 {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+var _ Strategy = (*NearestReplica)(nil)
+
+// NearestDistance returns the hop distance from u to the closest replica
+// of file j, or -1 if the file is cached nowhere. Exposed for the Voronoi
+// cross-checks and the Theorem 2 experiments.
+func NearestDistance(g *grid.Grid, p *cache.Placement, u, j int) int {
+	reps := p.Replicas(j)
+	if len(reps) == 0 {
+		return -1
+	}
+	best := math.MaxInt
+	for _, v := range reps {
+		if d := g.Dist(u, int(v)); d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/ballsbins"
+	"repro/internal/cache"
+	"repro/internal/grid"
+)
+
+// RadiusUnbounded selects r = ∞ (equivalently r ≥ torus diameter; the
+// paper uses r = √n and r = ∞ interchangeably, footnote 2).
+const RadiusUnbounded = -1
+
+// TwoChoiceConfig parameterizes Strategy II and its generalizations.
+type TwoChoiceConfig struct {
+	// Radius is the proximity constraint r in hops. RadiusUnbounded (or
+	// any value ≥ the torus diameter) removes the constraint.
+	Radius int
+	// Choices is d, the number of candidate replicas sampled per request
+	// (0 defaults to the paper's d = 2; d = 1 is the random-replica
+	// baseline).
+	Choices int
+	// WithoutReplacement samples the d candidates distinct when possible.
+	// The default (false) matches the standard Azar et al. model of
+	// independent choices, which the paper's analysis uses.
+	WithoutReplacement bool
+	// NoEscalate disables widening the search to r = ∞ when B_r(u) holds
+	// no replica; such requests are then served via backhaul at the
+	// origin. The default escalation matches DESIGN.md §4.4.
+	NoEscalate bool
+	// Beta, when in (0, 1), enables the (1+β)-choice process
+	// (Mitzenmacher et al.): each request uses the full d choices with
+	// probability β and a single random choice otherwise, trading load
+	// balance for probe traffic. 0 (and 1) mean "always d choices".
+	Beta float64
+}
+
+// TwoChoice is Strategy II (Definition 3): sample d (=2) uniform replicas
+// of the requested file within hop radius r of the origin and assign the
+// request to the least loaded, ties uniform.
+type TwoChoice struct {
+	common
+	cfg     TwoChoiceConfig
+	ballN   int // |B_r| on the torus (candidate-space size for rejection)
+	maxTry  int // rejection budget before exact fallback
+	ballBuf []int32
+	candBuf []int32
+}
+
+// NewTwoChoice builds Strategy II. It panics on nonsensical configuration
+// (Choices < 0 or Radius < RadiusUnbounded).
+func NewTwoChoice(g *grid.Grid, p *cache.Placement, cfg TwoChoiceConfig) *TwoChoice {
+	if cfg.Choices < 0 {
+		panic(fmt.Sprintf("core: negative choice count %d", cfg.Choices))
+	}
+	if cfg.Choices == 0 {
+		cfg.Choices = 2
+	}
+	if cfg.Radius < RadiusUnbounded {
+		panic(fmt.Sprintf("core: invalid radius %d", cfg.Radius))
+	}
+	if cfg.Beta < 0 || cfg.Beta > 1 {
+		panic(fmt.Sprintf("core: beta must lie in [0,1], got %v", cfg.Beta))
+	}
+	if cfg.Radius == RadiusUnbounded || cfg.Radius >= g.Diameter() {
+		cfg.Radius = RadiusUnbounded
+	}
+	t := &TwoChoice{common: newCommon(g, p), cfg: cfg}
+	if cfg.Radius != RadiusUnbounded {
+		t.ballN = g.BallSize(cfg.Radius)
+		// Expected rejection tries per accepted draw is n/|B_r|; budget a
+		// small multiple before paying for the exact candidate list.
+		// Distinct-candidate sampling always uses the exact list (the
+		// rejection loop cannot guarantee distinctness cheaply).
+		if !cfg.WithoutReplacement {
+			t.maxTry = 4*(g.N()/t.ballN+1) + 16
+		}
+	}
+	return t
+}
+
+// Name implements Strategy.
+func (s *TwoChoice) Name() string {
+	if s.cfg.Choices == 1 {
+		return fmt.Sprintf("one-choice(r=%s)", s.radiusLabel())
+	}
+	return fmt.Sprintf("%d-choice(r=%s)", s.cfg.Choices, s.radiusLabel())
+}
+
+func (s *TwoChoice) radiusLabel() string {
+	if s.cfg.Radius == RadiusUnbounded {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", s.cfg.Radius)
+}
+
+// Radius returns the effective proximity constraint (RadiusUnbounded when
+// unrestricted).
+func (s *TwoChoice) Radius() int { return s.cfg.Radius }
+
+// Assign implements Strategy.
+func (s *TwoChoice) Assign(req Request, loads *ballsbins.Loads, r *rand.Rand) Assignment {
+	reps := s.p.Replicas(int(req.File))
+	if len(reps) == 0 {
+		return backhaul(req)
+	}
+	d := s.cfg.Choices
+	if s.cfg.Beta > 0 && s.cfg.Beta < 1 && r.Float64() >= s.cfg.Beta {
+		d = 1 // the (1+β) process degrades to one choice this round
+	}
+	pool, escalated := s.candidatePool(req, reps)
+	if pool == nil {
+		// In-radius rejection sampling against the full replica list.
+		if srv, ok := s.sampleByRejection(req, reps, d, loads, r); ok {
+			return assignmentTo(s.g, req, srv, false)
+		}
+		// Budget exhausted: compute the exact in-radius candidate list.
+		s.candBuf = s.exactCandidates(req, reps, s.candBuf[:0])
+		pool = s.candBuf
+		if len(pool) == 0 {
+			if s.cfg.NoEscalate {
+				return backhaul(req)
+			}
+			pool, escalated = reps, true
+		}
+	}
+	return assignmentTo(s.g, req, s.pickFromPool(pool, d, loads, r), escalated)
+}
+
+// candidatePool returns the slice to sample from when no rejection loop is
+// needed: the full replica list if the radius is unbounded, or nil to
+// signal that in-radius sampling is required.
+func (s *TwoChoice) candidatePool(req Request, reps []int32) ([]int32, bool) {
+	if s.cfg.Radius == RadiusUnbounded {
+		return reps, false
+	}
+	// If the replica list is smaller than the rejection budget, exact
+	// filtering is outright cheaper — skip rejection.
+	if len(reps) <= s.maxTry {
+		s.candBuf = s.exactCandidates(req, reps, s.candBuf[:0])
+		if len(s.candBuf) == 0 {
+			if s.cfg.NoEscalate {
+				return nil, false // caller re-detects via exactCandidates
+			}
+			return reps, true
+		}
+		return s.candBuf, false
+	}
+	return nil, false
+}
+
+// exactCandidates filters the replicas of req.File to those within the
+// radius, choosing the cheaper of scanning the replica list or enumerating
+// the ball.
+func (s *TwoChoice) exactCandidates(req Request, reps []int32, dst []int32) []int32 {
+	if len(reps) <= s.ballN {
+		for _, v := range reps {
+			if s.g.Dist(int(req.Origin), int(v)) <= s.cfg.Radius {
+				dst = append(dst, v)
+			}
+		}
+		return dst
+	}
+	s.ballBuf = s.g.Ball(int(req.Origin), s.cfg.Radius, s.ballBuf[:0])
+	for _, v := range s.ballBuf {
+		if s.p.Has(int(v), int(req.File)) {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// sampleByRejection draws the d candidates by rejection from the replica
+// list (accept when within radius). Returns ok=false when the try budget
+// is exhausted before d acceptances.
+func (s *TwoChoice) sampleByRejection(req Request, reps []int32, d int, loads *ballsbins.Loads, r *rand.Rand) (int32, bool) {
+	var best int32 = -1
+	ties := 0
+	accepted := 0
+	tries := 0
+	for accepted < d {
+		if tries >= s.maxTry {
+			return -1, false
+		}
+		tries++
+		v := reps[r.IntN(len(reps))]
+		if s.g.Dist(int(req.Origin), int(v)) > s.cfg.Radius {
+			continue
+		}
+		accepted++
+		best, ties = s.foldCandidate(best, ties, v, loads, r)
+	}
+	return best, true
+}
+
+// pickFromPool samples d candidates uniformly from pool and returns the
+// least-loaded (ties uniform).
+func (s *TwoChoice) pickFromPool(pool []int32, d int, loads *ballsbins.Loads, r *rand.Rand) int32 {
+	if len(pool) == 1 {
+		return pool[0]
+	}
+	var best int32 = -1
+	ties := 0
+	if s.cfg.WithoutReplacement {
+		if d >= len(pool) {
+			// Degenerates to the full-information oracle over the pool.
+			for _, v := range pool {
+				best, ties = s.foldCandidate(best, ties, v, loads, r)
+			}
+			return best
+		}
+		// Partial Fisher–Yates over indices via a small map-free trick:
+		// for d ≪ |pool| rejection on a tiny set is cheapest.
+		seen := make([]int32, 0, d)
+	draw:
+		for len(seen) < d {
+			v := pool[r.IntN(len(pool))]
+			for _, u := range seen {
+				if u == v {
+					continue draw
+				}
+			}
+			seen = append(seen, v)
+			best, ties = s.foldCandidate(best, ties, v, loads, r)
+		}
+		return best
+	}
+	for i := 0; i < d; i++ {
+		v := pool[r.IntN(len(pool))]
+		best, ties = s.foldCandidate(best, ties, v, loads, r)
+	}
+	return best
+}
+
+// foldCandidate updates the running least-loaded winner with uniform tie
+// breaking (reservoir over minima).
+func (s *TwoChoice) foldCandidate(best int32, ties int, v int32, loads *ballsbins.Loads, r *rand.Rand) (int32, int) {
+	if best < 0 {
+		return v, 1
+	}
+	lv, lb := loads.Load(int(v)), loads.Load(int(best))
+	switch {
+	case lv < lb:
+		return v, 1
+	case lv == lb:
+		ties++
+		if r.IntN(ties) == 0 {
+			return v, ties
+		}
+	}
+	return best, ties
+}
+
+var _ Strategy = (*TwoChoice)(nil)
+
+// LeastLoadedOracle assigns each request to the least-loaded replica
+// within the radius (full load information — the unattainable lower
+// envelope for any sampling strategy; used in ablation benches).
+type LeastLoadedOracle struct {
+	inner *TwoChoice
+}
+
+// NewLeastLoadedOracle builds the oracle baseline.
+func NewLeastLoadedOracle(g *grid.Grid, p *cache.Placement, radius int) *LeastLoadedOracle {
+	return &LeastLoadedOracle{inner: NewTwoChoice(g, p, TwoChoiceConfig{Radius: radius})}
+}
+
+// Name implements Strategy.
+func (o *LeastLoadedOracle) Name() string {
+	return fmt.Sprintf("least-loaded(r=%s)", o.inner.radiusLabel())
+}
+
+// Assign implements Strategy.
+func (o *LeastLoadedOracle) Assign(req Request, loads *ballsbins.Loads, r *rand.Rand) Assignment {
+	s := o.inner
+	reps := s.p.Replicas(int(req.File))
+	if len(reps) == 0 {
+		return backhaul(req)
+	}
+	pool := reps
+	escalated := false
+	if s.cfg.Radius != RadiusUnbounded {
+		s.candBuf = s.exactCandidates(req, reps, s.candBuf[:0])
+		pool = s.candBuf
+		if len(pool) == 0 {
+			pool, escalated = reps, true
+		}
+	}
+	var best int32 = -1
+	ties := 0
+	for _, v := range pool {
+		best, ties = s.foldCandidate(best, ties, v, loads, r)
+	}
+	return assignmentTo(s.g, req, best, escalated)
+}
+
+var _ Strategy = (*LeastLoadedOracle)(nil)
+
+// NewOneChoice returns the random-replica-in-radius baseline (d = 1),
+// the natural "no load information" counterpart of Strategy II.
+func NewOneChoice(g *grid.Grid, p *cache.Placement, radius int) *TwoChoice {
+	return NewTwoChoice(g, p, TwoChoiceConfig{Radius: radius, Choices: 1})
+}

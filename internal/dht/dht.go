@@ -1,0 +1,223 @@
+// Package dht implements the consistent-hashing content-location layer the
+// paper's §VI sketches (citing Karger et al. and DHT-based replica
+// location): every file has a "home" directory node, determined by hashing
+// onto a ring of virtual nodes, where its replica list is registered. A
+// requesting server contacts the home node to learn S_j ∩ B_r(u) before
+// running Strategy II, so the control-plane cost of the paper's "polling"
+// assumption can be quantified instead of assumed away.
+package dht
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/grid"
+	"repro/internal/stats"
+)
+
+// hash64 hashes a byte-string key to a ring position. Raw FNV-1a clusters
+// badly on short sequential keys (arc-length CV ~6× theory), so the output
+// is passed through a SplitMix64 finalizer for full avalanche.
+func hash64(key string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	z := h.Sum64()
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// vpoint is one virtual node on the ring.
+type vpoint struct {
+	pos  uint64
+	node int32
+}
+
+// Ring is a consistent-hashing ring over integer node IDs with virtual
+// nodes. The zero value is unusable; build with NewRing.
+type Ring struct {
+	points []vpoint
+	vnodes int
+	nodes  map[int32]bool
+}
+
+// NewRing builds a ring over nodes 0..n-1 with the given number of virtual
+// points per node (more vnodes = better key balance; 64-128 is typical).
+func NewRing(n, vnodes int) *Ring {
+	if n <= 0 || vnodes <= 0 {
+		panic(fmt.Sprintf("dht: need n > 0 and vnodes > 0, got %d, %d", n, vnodes))
+	}
+	r := &Ring{vnodes: vnodes, nodes: make(map[int32]bool, n)}
+	for u := 0; u < n; u++ {
+		r.addPoints(int32(u))
+		r.nodes[int32(u)] = true
+	}
+	r.sortPoints()
+	return r
+}
+
+func (r *Ring) addPoints(u int32) {
+	for v := 0; v < r.vnodes; v++ {
+		r.points = append(r.points, vpoint{
+			pos:  hash64(fmt.Sprintf("node-%d-v%d", u, v)),
+			node: u,
+		})
+	}
+}
+
+func (r *Ring) sortPoints() {
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].pos != r.points[j].pos {
+			return r.points[i].pos < r.points[j].pos
+		}
+		return r.points[i].node < r.points[j].node
+	})
+}
+
+// Nodes returns the number of live nodes.
+func (r *Ring) Nodes() int { return len(r.nodes) }
+
+// Join adds node u (no-op if present).
+func (r *Ring) Join(u int32) {
+	if r.nodes[u] {
+		return
+	}
+	r.nodes[u] = true
+	r.addPoints(u)
+	r.sortPoints()
+}
+
+// Leave removes node u (no-op if absent). It panics if u is the last node
+// — an empty ring cannot answer lookups.
+func (r *Ring) Leave(u int32) {
+	if !r.nodes[u] {
+		return
+	}
+	if len(r.nodes) == 1 {
+		panic("dht: cannot remove the last node")
+	}
+	delete(r.nodes, u)
+	w := 0
+	for _, p := range r.points {
+		if p.node != u {
+			r.points[w] = p
+			w++
+		}
+	}
+	r.points = r.points[:w]
+}
+
+// Lookup returns the home node for a key: the owner of the first virtual
+// point at or after the key's ring position (wrapping).
+func (r *Ring) Lookup(key string) int32 {
+	pos := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// FileKey is the canonical key for file j's directory entry.
+func FileKey(j int) string { return fmt.Sprintf("file-%d", j) }
+
+// Home returns file j's directory node.
+func (r *Ring) Home(j int) int32 { return r.Lookup(FileKey(j)) }
+
+// Successors returns the first count distinct nodes at or after the key's
+// position — the standard replica set of consistent hashing. It panics if
+// count exceeds the number of live nodes.
+func (r *Ring) Successors(key string, count int) []int32 {
+	if count > len(r.nodes) {
+		panic(fmt.Sprintf("dht: %d successors requested of %d nodes", count, len(r.nodes)))
+	}
+	out := make([]int32, 0, count)
+	seen := make(map[int32]bool, count)
+	pos := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= pos })
+	for len(out) < count {
+		if i == len(r.points) {
+			i = 0
+		}
+		u := r.points[i].node
+		if !seen[u] {
+			seen[u] = true
+			out = append(out, u)
+		}
+		i++
+	}
+	return out
+}
+
+// KeyBalance hashes sample keys and summarizes how evenly they land across
+// nodes (per-node key counts; CV shrinks as vnodes grow).
+func (r *Ring) KeyBalance(sampleKeys int) stats.Summary {
+	counts := make(map[int32]int, len(r.nodes))
+	for i := 0; i < sampleKeys; i++ {
+		counts[r.Lookup(fmt.Sprintf("sample-%d", i))]++
+	}
+	var s stats.Summary
+	for u := range r.nodes {
+		s.Add(float64(counts[u]))
+	}
+	return s
+}
+
+// Directory is the DHT-backed replica directory for one placement: file j's
+// replica list is registered at Home(j), and lookups pay torus round-trip
+// control cost from the requester to the home node.
+type Directory struct {
+	ring *Ring
+	g    *grid.Grid
+	p    *cache.Placement
+}
+
+// NewDirectory registers placement p's replica lists over ring r.
+func NewDirectory(ring *Ring, g *grid.Grid, p *cache.Placement) *Directory {
+	if g.N() != p.N() || ring.Nodes() != g.N() {
+		panic("dht: ring, grid and placement disagree on node count")
+	}
+	return &Directory{ring: ring, g: g, p: p}
+}
+
+// LookupCost returns the control-plane hop cost for origin u to learn file
+// j's replica list: the torus round trip to the home node (0 when u is its
+// own home).
+func (d *Directory) LookupCost(u, j int) int {
+	home := int(d.ring.Home(j))
+	return 2 * d.g.Dist(u, home)
+}
+
+// Replicas returns file j's registered replica list (the directory is
+// authoritative: identical to the placement's).
+func (d *Directory) Replicas(j int) []int32 { return d.p.Replicas(j) }
+
+// MeanLookupCost estimates the average control cost over files and
+// uniformly random origins: Σ_j over sampled origins of LookupCost / N.
+// With homes hashed uniformly this approaches twice the mean torus
+// distance, i.e. Θ(√n) — the price of exact global directories, versus
+// the Θ(r) local polling the paper assumes. Sampling every (origin, file)
+// pair is O(nK); origins are strided for large n.
+func (d *Directory) MeanLookupCost() float64 {
+	n := d.g.N()
+	stride := 1
+	if n > 4096 {
+		stride = n / 4096
+	}
+	var sum float64
+	var count int
+	for j := 0; j < d.p.K(); j++ {
+		home := int(d.ring.Home(j))
+		for u := 0; u < n; u += stride {
+			sum += float64(2 * d.g.Dist(u, home))
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}

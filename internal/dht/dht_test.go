@@ -1,0 +1,228 @@
+package dht
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/dist"
+	"repro/internal/grid"
+	"repro/internal/xrand"
+)
+
+func TestNewRingPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"n=0":      func() { NewRing(0, 4) },
+		"vnodes=0": func() { NewRing(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLookupDeterministicAndValid(t *testing.T) {
+	r := NewRing(64, 32)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("k%d", i)
+		a, b := r.Lookup(key), r.Lookup(key)
+		if a != b {
+			t.Fatalf("lookup of %q unstable: %d vs %d", key, a, b)
+		}
+		if a < 0 || a >= 64 {
+			t.Fatalf("lookup of %q out of range: %d", key, a)
+		}
+	}
+}
+
+func TestLookupMatchesBruteForce(t *testing.T) {
+	r := NewRing(16, 8)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("bf%d", i)
+		pos := hash64(key)
+		// Brute force: smallest point ≥ pos, else global minimum.
+		var best *vpoint
+		var minPt *vpoint
+		for idx := range r.points {
+			p := &r.points[idx]
+			if minPt == nil || p.pos < minPt.pos {
+				minPt = p
+			}
+			if p.pos >= pos && (best == nil || p.pos < best.pos) {
+				best = p
+			}
+		}
+		want := minPt.node
+		if best != nil {
+			want = best.node
+		}
+		if got := r.Lookup(key); got != want {
+			t.Fatalf("Lookup(%q) = %d, brute force %d", key, got, want)
+		}
+	}
+}
+
+func TestKeyBalanceImprovesWithVnodes(t *testing.T) {
+	cv := func(vnodes int) float64 {
+		s := NewRing(50, vnodes).KeyBalance(20000)
+		if s.Mean() == 0 {
+			t.Fatal("no keys landed")
+		}
+		return s.Std() / s.Mean()
+	}
+	lo, hi := cv(1), cv(128)
+	if hi >= lo {
+		t.Fatalf("vnodes=128 CV %.3f not below vnodes=1 CV %.3f", hi, lo)
+	}
+	if hi > 0.5 {
+		t.Fatalf("128-vnode balance too poor: CV %.3f", hi)
+	}
+}
+
+func TestJoinLeaveConsistency(t *testing.T) {
+	// Consistent hashing's defining property: removing one of n nodes
+	// remaps only ≈ 1/n of keys; adding it back restores every mapping.
+	const n, keys = 40, 8000
+	r := NewRing(n, 64)
+	before := make([]int32, keys)
+	for i := range before {
+		before[i] = r.Lookup(fmt.Sprintf("key-%d", i))
+	}
+	r.Leave(7)
+	moved := 0
+	for i := range before {
+		now := r.Lookup(fmt.Sprintf("key-%d", i))
+		if now != before[i] {
+			if before[i] != 7 {
+				t.Fatalf("key %d moved from %d to %d though node 7 left", i, before[i], now)
+			}
+			moved++
+		}
+	}
+	frac := float64(moved) / keys
+	if frac > 3.0/n {
+		t.Fatalf("leave remapped %.3f of keys, want ≈ 1/%d", frac, n)
+	}
+	r.Join(7)
+	for i := range before {
+		if got := r.Lookup(fmt.Sprintf("key-%d", i)); got != before[i] {
+			t.Fatalf("rejoin did not restore key %d: %d vs %d", i, got, before[i])
+		}
+	}
+	// Idempotent operations.
+	r.Join(7)
+	r.Leave(99999)
+	if r.Nodes() != n {
+		t.Fatalf("node count %d after idempotent ops", r.Nodes())
+	}
+}
+
+func TestLeaveLastNodePanics(t *testing.T) {
+	r := NewRing(1, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("removing the last node did not panic")
+		}
+	}()
+	r.Leave(0)
+}
+
+func TestSuccessorsDistinct(t *testing.T) {
+	prop := func(seed uint64, cRaw uint8) bool {
+		r := NewRing(20, 16)
+		count := int(cRaw)%20 + 1
+		key := fmt.Sprintf("s%d", seed)
+		succ := r.Successors(key, count)
+		if len(succ) != count {
+			return false
+		}
+		seen := map[int32]bool{}
+		for _, u := range succ {
+			if seen[u] || u < 0 || u >= 20 {
+				return false
+			}
+			seen[u] = true
+		}
+		// First successor must agree with Lookup.
+		return succ[0] == r.Lookup(key)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuccessorsPanicsWhenTooMany(t *testing.T) {
+	r := NewRing(3, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversubscribed successors did not panic")
+		}
+	}()
+	r.Successors("x", 4)
+}
+
+func TestDirectoryCosts(t *testing.T) {
+	g := grid.New(15, grid.Torus)
+	p := cache.Place(g.N(), 4, dist.NewUniform(50), cache.WithReplacement,
+		xrand.NewSource(1).Stream(0))
+	ring := NewRing(g.N(), 32)
+	d := NewDirectory(ring, g, p)
+	// Lookup cost is twice the torus distance to the home node.
+	for j := 0; j < 10; j++ {
+		home := int(ring.Home(j))
+		for _, u := range []int{0, 7, 100} {
+			if got, want := d.LookupCost(u, j), 2*g.Dist(u, home); got != want {
+				t.Fatalf("LookupCost(%d,%d) = %d, want %d", u, j, got, want)
+			}
+		}
+		if d.LookupCost(int(ring.Home(j)), j) != 0 {
+			t.Fatal("self-home lookup should be free")
+		}
+	}
+	// Directory is authoritative.
+	for j := 0; j < p.K(); j++ {
+		reps := d.Replicas(j)
+		if len(reps) != len(p.Replicas(j)) {
+			t.Fatalf("directory replica list differs for %d", j)
+		}
+	}
+	// Mean lookup cost ≈ 2 × mean torus distance (home nodes ~uniform).
+	mean := d.MeanLookupCost()
+	// Mean L1 distance on an odd L-torus is ~L/2; allow a wide band.
+	l := float64(g.Side())
+	if mean < 0.6*l || mean > 1.4*l {
+		t.Fatalf("mean lookup cost %.2f outside plausible band around %.1f", mean, l)
+	}
+}
+
+func TestDirectoryMismatchPanics(t *testing.T) {
+	g := grid.New(4, grid.Torus)
+	p := cache.Place(9, 1, dist.NewUniform(5), cache.WithReplacement,
+		xrand.NewSource(0).Stream(0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched directory did not panic")
+		}
+	}()
+	NewDirectory(NewRing(16, 8), g, p)
+}
+
+func BenchmarkLookup(b *testing.B) {
+	r := NewRing(2025, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Lookup(FileKey(i % 500))
+	}
+}
+
+func BenchmarkRingBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = NewRing(2025, 64)
+	}
+}

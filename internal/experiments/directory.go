@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/dht"
+	"repro/internal/dist"
+	"repro/internal/grid"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// DirectoryOverhead quantifies the control-plane cost the paper assumes
+// away (§VI: replica location "by periodic polling of nearby servers" or
+// DHTs): an exact DHT directory charges a Θ(√n) round trip to each file's
+// home node, while radius-r polling charges Θ(r) but only sees B_r(u).
+// The series compare both against the data-plane cost of Strategy II.
+func DirectoryOverhead(opt Options) (*Table, error) {
+	trials := opt.trials(5, 200)
+	t := &Table{
+		ID:     "directory",
+		Title:  "Content-location control cost: DHT directory vs local polling (K=500, M=10)",
+		XLabel: "n",
+		YLabel: "hops per lookup",
+		Notes: []string{
+			fmt.Sprintf("trials/point = %d; polling radius r = ceil(n^0.3)", trials),
+			"expected: DHT lookup cost grows Θ(√n); polling cost Θ(r) = Θ(n^0.3); the paper's locality assumption is the difference between the two curves",
+		},
+	}
+	sides := []int{15, 25, 35, 45}
+	dhtSeries := Series{Name: "dht directory (round trip)"}
+	pollSeries := Series{Name: "local polling (radius)"}
+	for _, side := range sides {
+		g := grid.New(side, grid.Torus)
+		n := g.N()
+		r := int(math.Ceil(math.Pow(float64(n), 0.3)))
+		src := xrand.NewSource(opt.seed() + uint64(side))
+		var dhtCost stats.Summary
+		for i := 0; i < trials; i++ {
+			p := cache.Place(n, 10, dist.NewUniform(500), cache.WithReplacement, src.Stream(uint64(i)))
+			ring := dht.NewRing(n, 64)
+			dir := dht.NewDirectory(ring, g, p)
+			dhtCost.Add(dir.MeanLookupCost())
+		}
+		dhtSeries.Points = append(dhtSeries.Points, Point{
+			X: float64(n), Y: dhtCost.Mean(), CI: dhtCost.CI95(),
+		})
+		// Polling cost: one probe wave to radius r (the cache-content
+		// dynamic is slow, §VI, so this amortizes; we charge the r-hop
+		// wavefront as the per-refresh cost).
+		pollSeries.Points = append(pollSeries.Points, Point{
+			X: float64(n), Y: float64(r), CI: 0,
+			Extra: map[string]float64{"ball_size": float64(g.BallSize(r))},
+		})
+	}
+	t.Series = append(t.Series, dhtSeries, pollSeries)
+	xs := make([]float64, len(dhtSeries.Points))
+	ys := make([]float64, len(dhtSeries.Points))
+	for i, p := range dhtSeries.Points {
+		xs[i], ys[i] = p.X, p.Y
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"dht cost growth exponent in n: %.3f (theory 0.5)", stats.GrowthExponent(xs, ys)))
+	return t, nil
+}

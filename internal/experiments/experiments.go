@@ -1,0 +1,219 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§V) plus validation studies for the formal results (Lemma 1,
+// Lemma 2/3, Theorems 1-4, Example 3) and the §VI queueing conjecture.
+//
+// Each experiment is a function from Options to a Table — a named set of
+// (x, y) series with confidence intervals — that can be rendered to CSV or
+// markdown, benchmarked from bench_test.go, or driven from cmd/figures.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Preset scales the number of trials per point.
+type Preset int
+
+const (
+	// Quick targets CI: minutes of CPU for the full suite, wider error
+	// bars but identical estimators and identical qualitative shapes.
+	Quick Preset = iota
+	// Paper approaches the paper's replica counts (800-10000 runs per
+	// point); hours of CPU.
+	Paper
+)
+
+// ParsePreset converts a CLI name.
+func ParsePreset(s string) (Preset, error) {
+	switch strings.ToLower(s) {
+	case "quick":
+		return Quick, nil
+	case "paper", "full":
+		return Paper, nil
+	}
+	return 0, fmt.Errorf("experiments: unknown preset %q (want quick or paper)", s)
+}
+
+// String implements fmt.Stringer.
+func (p Preset) String() string {
+	if p == Paper {
+		return "paper"
+	}
+	return "quick"
+}
+
+// Options configures an experiment run.
+type Options struct {
+	// Preset selects default trial counts (Quick or Paper).
+	Preset Preset
+	// Trials overrides the preset trial count when positive.
+	Trials int
+	// Workers bounds simulation parallelism (0 = GOMAXPROCS).
+	Workers int
+	// Seed roots all randomness (default 2017, the paper's year).
+	Seed uint64
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 2017
+	}
+	return o.Seed
+}
+
+// trials resolves the trial count for an experiment whose presets are
+// (quick, paper).
+func (o Options) trials(quick, paper int) int {
+	if o.Trials > 0 {
+		return o.Trials
+	}
+	if o.Preset == Paper {
+		return paper
+	}
+	return quick
+}
+
+// Point is one measured x/y pair with a 95% CI half-width on y and
+// optional extra columns.
+type Point struct {
+	X     float64
+	Y     float64
+	CI    float64
+	Extra map[string]float64
+}
+
+// Series is one labelled curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Table is one reproduced figure or table.
+type Table struct {
+	ID     string // e.g. "fig1"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// extraColumns returns the sorted union of Extra keys across all points.
+func (t *Table) extraColumns() []string {
+	set := map[string]bool{}
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			for k := range p.Extra {
+				set[k] = true
+			}
+		}
+	}
+	cols := make([]string, 0, len(set))
+	for k := range set {
+		cols = append(cols, k)
+	}
+	sort.Strings(cols)
+	return cols
+}
+
+// WriteCSV emits the table in long form: series,x,y,ci[,extras...].
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	extras := t.extraColumns()
+	header := append([]string{"series", t.XLabel, t.YLabel, "ci95"}, extras...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			row := []string{s.Name, f(p.X), f(p.Y), f(p.CI)}
+			for _, k := range extras {
+				row = append(row, f(p.Extra[k]))
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Markdown renders the table, suitable for EXPERIMENTS.md: a pivot with
+// one row per x value when the series share an x grid, or one block per
+// series when x values are measured quantities that never align (e.g. the
+// Fig. 5 trade-off scatter).
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	// Collect the x grid.
+	xsSet := map[float64]bool{}
+	points := 0
+	for _, s := range t.Series {
+		for _, p := range s.Points {
+			xsSet[p.X] = true
+			points++
+		}
+	}
+	// When over 70% of points carry a unique x (measured scatter, e.g.
+	// Fig. 5's cost axis), a shared pivot grid would be mostly empty —
+	// render per-series blocks instead.
+	if len(t.Series) > 1 && 10*len(xsSet) > 7*points {
+		return t.markdownBlocks(&b)
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	fmt.Fprintf(&b, "| %s |", t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, " %s |", s.Name)
+	}
+	b.WriteString("\n|---|")
+	for range t.Series {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, x := range xs {
+		fmt.Fprintf(&b, "| %.6g |", x)
+		for _, s := range t.Series {
+			cell := ""
+			for _, p := range s.Points {
+				if p.X == x {
+					cell = fmt.Sprintf("%.3f ± %.3f", p.Y, p.CI)
+					break
+				}
+			}
+			fmt.Fprintf(&b, " %s |", cell)
+		}
+		b.WriteString("\n")
+	}
+	t.writeNotes(&b)
+	return b.String()
+}
+
+// markdownBlocks renders one compact sub-table per series (scatter data).
+func (t *Table) markdownBlocks(b *strings.Builder) string {
+	for _, s := range t.Series {
+		fmt.Fprintf(b, "**%s**\n\n| %s | %s |\n|---|---|\n", s.Name, t.XLabel, t.YLabel)
+		for _, p := range s.Points {
+			fmt.Fprintf(b, "| %.4g | %.3f ± %.3f |\n", p.X, p.Y, p.CI)
+		}
+		b.WriteString("\n")
+	}
+	t.writeNotes(b)
+	return b.String()
+}
+
+func (t *Table) writeNotes(b *strings.Builder) {
+	for _, n := range t.Notes {
+		fmt.Fprintf(b, "\n> %s\n", n)
+	}
+}

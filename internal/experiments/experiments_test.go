@@ -1,0 +1,384 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyOpt keeps experiment tests fast: 2 trials per point.
+var tinyOpt = Options{Trials: 2, Workers: 0, Seed: 99}
+
+func TestParsePreset(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Preset
+		ok   bool
+	}{
+		{"quick", Quick, true}, {"paper", Paper, true}, {"full", Paper, true},
+		{"QUICK", Quick, true}, {"bogus", 0, false},
+	} {
+		got, err := ParsePreset(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("ParsePreset(%q) = %v, %v", tc.in, got, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("ParsePreset(%q) accepted", tc.in)
+		}
+	}
+	if Quick.String() != "quick" || Paper.String() != "paper" {
+		t.Fatal("Preset strings wrong")
+	}
+}
+
+func TestOptionsResolution(t *testing.T) {
+	if (Options{}).seed() != 2017 {
+		t.Fatal("default seed wrong")
+	}
+	if (Options{Seed: 5}).seed() != 5 {
+		t.Fatal("explicit seed ignored")
+	}
+	if (Options{}).trials(7, 100) != 7 {
+		t.Fatal("quick preset trials wrong")
+	}
+	if (Options{Preset: Paper}).trials(7, 100) != 100 {
+		t.Fatal("paper preset trials wrong")
+	}
+	if (Options{Trials: 3, Preset: Paper}).trials(7, 100) != 3 {
+		t.Fatal("override trials ignored")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	if len(ids) != len(registry) {
+		t.Fatalf("IDs() returned %d of %d", len(ids), len(registry))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Fatal("IDs not sorted")
+		}
+	}
+	for _, id := range ids {
+		if _, err := Lookup(id); err != nil {
+			t.Errorf("Lookup(%q): %v", id, err)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("Lookup accepted unknown id")
+	}
+}
+
+// checkTable verifies structural invariants every reproduced table must
+// satisfy.
+func checkTable(t *testing.T, tb *Table) {
+	t.Helper()
+	if tb.ID == "" || tb.Title == "" || tb.XLabel == "" || tb.YLabel == "" {
+		t.Fatalf("table metadata incomplete: %+v", tb)
+	}
+	if len(tb.Series) == 0 {
+		t.Fatal("table has no series")
+	}
+	for _, s := range tb.Series {
+		if s.Name == "" {
+			t.Fatal("unnamed series")
+		}
+		if len(s.Points) == 0 {
+			t.Fatalf("series %s empty", s.Name)
+		}
+		for _, p := range s.Points {
+			if p.CI < 0 {
+				t.Fatalf("series %s: negative CI %v", s.Name, p.CI)
+			}
+		}
+	}
+	// CSV round-trips without error and contains every series name.
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	out := buf.String()
+	for _, s := range tb.Series {
+		if !strings.Contains(out, s.Name) {
+			t.Fatalf("CSV missing series %s", s.Name)
+		}
+	}
+	// Markdown renders and mentions the title.
+	md := tb.Markdown()
+	if !strings.Contains(md, tb.ID) || !strings.Contains(md, "|") {
+		t.Fatalf("markdown malformed:\n%s", md)
+	}
+}
+
+func TestFigure1Tiny(t *testing.T) {
+	tb, err := Figure1(tinyOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb)
+	if len(tb.Series) != 4 {
+		t.Fatalf("fig1 should have 4 cache-size curves, got %d", len(tb.Series))
+	}
+	// M=100 curve must sit at or below M=1 at the largest n (more cache,
+	// better balance).
+	m1 := tb.Series[0].Points[len(tb.Series[0].Points)-1].Y
+	m100 := tb.Series[3].Points[len(tb.Series[3].Points)-1].Y
+	if m100 > m1+0.5 {
+		t.Fatalf("fig1: M=100 load %.2f above M=1 load %.2f", m100, m1)
+	}
+}
+
+func TestFigure2Tiny(t *testing.T) {
+	tb, err := Figure2(tinyOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb)
+	// Cost decreases in M for every K, and increases in K at fixed M.
+	for _, s := range tb.Series {
+		first, last := s.Points[0].Y, s.Points[len(s.Points)-1].Y
+		if last >= first {
+			t.Fatalf("fig2 %s: cost did not fall from M=1 (%.2f) to M=100 (%.2f)", s.Name, first, last)
+		}
+	}
+	if tb.Series[0].Points[0].Y >= tb.Series[2].Points[0].Y {
+		t.Fatalf("fig2: K=100 cost %.2f not below K=2000 cost %.2f at M=1",
+			tb.Series[0].Points[0].Y, tb.Series[2].Points[0].Y)
+	}
+}
+
+func TestFigure34Tiny(t *testing.T) {
+	// Trim to the small-n prefix for test speed by using the tiny trial
+	// count; full-size grids still run (seconds).
+	if testing.Short() {
+		t.Skip("fig3/4 grid too large for -short")
+	}
+	opt := tinyOpt
+	opt.Trials = 2
+	load, cost, err := Figure34(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, load)
+	checkTable(t, cost)
+	// Fig 4 shape: cost grows with n (Θ(√n)) for every M.
+	for _, s := range cost.Series {
+		if s.Points[len(s.Points)-1].Y <= s.Points[0].Y {
+			t.Fatalf("fig4 %s: cost not growing with n", s.Name)
+		}
+	}
+	// Fig 3 shape: at the largest n, ample replication (M=10) beats M=1.
+	last := len(load.Series[0].Points) - 1
+	if load.Series[2].Points[last].Y > load.Series[0].Points[last].Y {
+		t.Fatalf("fig3: M=10 load %.2f above M=1 load %.2f at max n",
+			load.Series[2].Points[last].Y, load.Series[0].Points[last].Y)
+	}
+}
+
+func TestFigure5Tiny(t *testing.T) {
+	tb, err := Figure5(tinyOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb)
+	if len(tb.Series) != 7 {
+		t.Fatalf("fig5 should have 7 cache-size curves, got %d", len(tb.Series))
+	}
+	// Radius extras must be recorded for trade-off interpretation.
+	if _, ok := tb.Series[0].Points[0].Extra["radius"]; !ok {
+		t.Fatal("fig5 points missing radius extra")
+	}
+	// High-memory curve must reach a lower max load than the M=1 curve
+	// somewhere along the sweep.
+	minY := func(s Series) float64 {
+		m := s.Points[0].Y
+		for _, p := range s.Points {
+			if p.Y < m {
+				m = p.Y
+			}
+		}
+		return m
+	}
+	if !(minY(tb.Series[6]) < minY(tb.Series[0])) {
+		t.Fatalf("fig5: M=200 best load %.2f not below M=1 best load %.2f",
+			minY(tb.Series[6]), minY(tb.Series[0]))
+	}
+}
+
+func TestZipfCostTableTiny(t *testing.T) {
+	tb, err := ZipfCostTable(tinyOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb)
+	// γ=2.5 must scale much flatter in K than γ=0.5.
+	var e05, e25 float64
+	for _, s := range tb.Series {
+		switch s.Name {
+		case "gamma=0.5":
+			e05 = s.Points[0].Extra["measured_exponent"]
+		case "gamma=2.5":
+			e25 = s.Points[0].Extra["measured_exponent"]
+		}
+	}
+	if !(e25 < e05-0.2) {
+		t.Fatalf("zipf exponents: gamma=2.5 %.3f not clearly below gamma=0.5 %.3f", e25, e05)
+	}
+}
+
+func TestUniformCostLawTiny(t *testing.T) {
+	tb, err := UniformCostLaw(tinyOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb)
+	found := false
+	for _, n := range tb.Notes {
+		if strings.Contains(n, "r²") || strings.Contains(n, "r2") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fit note missing")
+	}
+}
+
+func TestTheorem12FitTiny(t *testing.T) {
+	opt := tinyOpt
+	opt.Trials = 4
+	tb, err := Theorem12Fit(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb)
+	// Max load must grow from smallest to largest n in the Thm 1 regime.
+	s := tb.Series[0]
+	if s.Points[len(s.Points)-1].Y <= s.Points[0].Y {
+		t.Fatalf("thm1 regime: max load not growing (%.2f -> %.2f)",
+			s.Points[0].Y, s.Points[len(s.Points)-1].Y)
+	}
+}
+
+func TestTheorem4RegimesTiny(t *testing.T) {
+	opt := tinyOpt
+	opt.Trials = 4
+	tb, err := Theorem4Regimes(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb)
+	// Above-threshold two-choices must end below Strategy I at max n,
+	// and below the strict below-threshold variant (whose radius misses
+	// pile onto origins).
+	last := len(tb.Series[0].Points) - 1
+	above, below, nearest := tb.Series[0].Points[last].Y, tb.Series[1].Points[last].Y, tb.Series[2].Points[last].Y
+	if !(above < nearest) {
+		t.Fatalf("thm4: above-threshold load %.2f not below nearest %.2f", above, nearest)
+	}
+	if !(above < below) {
+		t.Fatalf("thm4: above-threshold load %.2f not below strict below-threshold %.2f", above, below)
+	}
+}
+
+func TestLemma1CellsTiny(t *testing.T) {
+	tb, err := Lemma1Cells(tinyOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb)
+	for _, s := range tb.Series {
+		for _, p := range s.Points {
+			ratio := p.Extra["ratio_to_bound"]
+			if ratio <= 0 || ratio > 4 {
+				t.Fatalf("lemma1 %s: ratio %.2f outside Θ(1) band", s.Name, ratio)
+			}
+		}
+	}
+}
+
+func TestConfigGraphStatsTiny(t *testing.T) {
+	opt := tinyOpt
+	opt.Trials = 1
+	tb, err := ConfigGraphStats(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb)
+	for _, p := range tb.Series[0].Points {
+		if p.Extra["degree_cv"] > 0.5 {
+			t.Fatalf("confgraph: degree CV %.3f too high", p.Extra["degree_cv"])
+		}
+		if r := p.Extra["ratio_to_delta"]; r < 0.2 || r > 5 {
+			t.Fatalf("confgraph: ratio to Δ %.2f outside Θ(1) band", r)
+		}
+	}
+}
+
+func TestExample3Tiny(t *testing.T) {
+	opt := tinyOpt
+	opt.Trials = 4
+	tb, err := Example3Study(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb)
+	// Two-choices must beat one-choice at the largest n.
+	last := len(tb.Series[0].Points) - 1
+	if !(tb.Series[0].Points[last].Y < tb.Series[1].Points[last].Y) {
+		t.Fatalf("example3: two-choices %.2f not below one-choice %.2f",
+			tb.Series[0].Points[last].Y, tb.Series[1].Points[last].Y)
+	}
+}
+
+func TestSupermarketTiny(t *testing.T) {
+	opt := tinyOpt
+	opt.Trials = 1
+	tb, err := Supermarket(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb)
+	// JSQ(2) max queue at λ=0.95 below random's.
+	lastJSQ := tb.Series[0].Points[len(tb.Series[0].Points)-1].Y
+	lastRnd := tb.Series[1].Points[len(tb.Series[1].Points)-1].Y
+	if !(lastJSQ < lastRnd) {
+		t.Fatalf("supermarket: JSQ(2) %.1f not below random %.1f at high load", lastJSQ, lastRnd)
+	}
+}
+
+func TestMarkdownGrid(t *testing.T) {
+	tb := &Table{
+		ID: "x", Title: "T", XLabel: "n", YLabel: "y",
+		Series: []Series{
+			{Name: "a", Points: []Point{{X: 1, Y: 2, CI: 0.1}, {X: 2, Y: 3, CI: 0.1}}},
+			{Name: "b", Points: []Point{{X: 1, Y: 5, CI: 0.2}}},
+		},
+		Notes: []string{"note!"},
+	}
+	md := tb.Markdown()
+	for _, want := range []string{"| n | a | b |", "2.000 ± 0.100", "5.000 ± 0.200", "note!"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestCSVExtraColumns(t *testing.T) {
+	tb := &Table{
+		ID: "x", Title: "T", XLabel: "n", YLabel: "y",
+		Series: []Series{{Name: "a", Points: []Point{
+			{X: 1, Y: 2, CI: 0.1, Extra: map[string]float64{"zz": 7, "aa": 3}},
+		}}},
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	head := strings.SplitN(buf.String(), "\n", 2)[0]
+	if head != "series,n,y,ci95,aa,zz" {
+		t.Fatalf("csv header %q", head)
+	}
+	if !strings.Contains(buf.String(), ",3,7") {
+		t.Fatalf("csv extras missing: %s", buf.String())
+	}
+}

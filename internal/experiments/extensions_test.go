@@ -1,0 +1,120 @@
+package experiments
+
+import "testing"
+
+func TestPlacementPoliciesTiny(t *testing.T) {
+	tb, err := PlacementPolicies(tinyOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb)
+	if len(tb.Series) != 4 {
+		t.Fatalf("placement table has %d series, want 4", len(tb.Series))
+	}
+}
+
+func TestLinkCongestionTiny(t *testing.T) {
+	tb, err := LinkCongestion(tinyOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb)
+	// Nearest must carry less max-link traffic than unbounded 2-choices.
+	nearest := tb.Series[0].Points[0].Y
+	unbounded := tb.Series[2].Points[0].Y
+	if nearest >= unbounded {
+		t.Fatalf("linkload: nearest %.1f not below unbounded %.1f", nearest, unbounded)
+	}
+	for _, s := range tb.Series {
+		if s.Points[0].Extra["congestion_factor"] < 1 {
+			t.Fatalf("%s congestion factor below 1", s.Name)
+		}
+	}
+}
+
+func TestHeavyLoadTiny(t *testing.T) {
+	opt := tinyOpt
+	opt.Trials = 3
+	tb, err := HeavyLoad(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb)
+	// One-choice gap at c=16 must exceed two-choice gap at c=16.
+	twoGap := tb.Series[0].Points[len(tb.Series[0].Points)-1].Y
+	oneGap := tb.Series[1].Points[len(tb.Series[1].Points)-1].Y
+	if twoGap >= oneGap {
+		t.Fatalf("heavyload: two-choice gap %.2f not below one-choice %.2f", twoGap, oneGap)
+	}
+}
+
+func TestBetaChoiceTiny(t *testing.T) {
+	opt := tinyOpt
+	opt.Trials = 4
+	tb, err := BetaChoice(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb)
+	pts := tb.Series[0].Points
+	if !(pts[len(pts)-1].Y < pts[0].Y) {
+		t.Fatalf("beta sweep not decreasing: %.2f -> %.2f", pts[0].Y, pts[len(pts)-1].Y)
+	}
+}
+
+func TestDirectoryOverheadTiny(t *testing.T) {
+	opt := tinyOpt
+	opt.Trials = 1
+	tb, err := DirectoryOverhead(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb)
+	// DHT lookup cost must grow with n and exceed the polling radius at
+	// the largest scale.
+	dhtPts := tb.Series[0].Points
+	pollPts := tb.Series[1].Points
+	last := len(dhtPts) - 1
+	if dhtPts[last].Y <= dhtPts[0].Y {
+		t.Fatalf("dht cost not growing: %.2f -> %.2f", dhtPts[0].Y, dhtPts[last].Y)
+	}
+	if dhtPts[last].Y <= pollPts[last].Y {
+		t.Fatalf("dht cost %.2f not above polling radius %.2f at max n",
+			dhtPts[last].Y, pollPts[last].Y)
+	}
+}
+
+func TestPopularityDriftTiny(t *testing.T) {
+	opt := tinyOpt
+	opt.Trials = 2
+	tb, err := PopularityDrift(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb)
+	if len(tb.Series) != 3 {
+		t.Fatalf("drift table has %d series, want 3", len(tb.Series))
+	}
+	// Averaged over the later epochs, the clairvoyant policy must beat
+	// static (the placement has drifted away from the demand).
+	lateMean := func(s Series) float64 {
+		sum, n := 0.0, 0
+		for _, p := range s.Points[len(s.Points)/2:] {
+			sum += p.Y
+			n++
+		}
+		return sum / float64(n)
+	}
+	var staleLoad, clairLoad float64
+	for _, s := range tb.Series {
+		switch s.Name {
+		case "stale(t=0 truth)":
+			staleLoad = lateMean(s)
+		case "clairvoyant":
+			clairLoad = lateMean(s)
+		}
+	}
+	if !(clairLoad < staleLoad) {
+		t.Fatalf("drift: clairvoyant %.2f not below stale %.2f in late epochs", clairLoad, staleLoad)
+	}
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// fig1Sides spans n ≈ 100 .. 3025 as in Fig. 1's x axis.
+var fig1Sides = []int{10, 15, 20, 25, 30, 35, 40, 45, 50, 55}
+
+// Figure1 reproduces Fig. 1: maximum load of Strategy I versus the number
+// of servers, one curve per cache size M ∈ {1, 2, 10, 100}; torus, K = 100
+// files, uniform popularity. Paper: 10000 runs/point.
+func Figure1(opt Options) (*Table, error) {
+	trials := opt.trials(40, 10000)
+	t := &Table{
+		ID:     "fig1",
+		Title:  "Strategy I: maximum load vs number of servers (K=100)",
+		XLabel: "n",
+		YLabel: "max load",
+		Notes: []string{
+			fmt.Sprintf("trials/point = %d (paper: 10000)", trials),
+			"expected shape: Θ(log n) growth; larger M flattens the curve",
+		},
+	}
+	for _, m := range []int{1, 2, 10, 100} {
+		s := Series{Name: fmt.Sprintf("M=%d", m)}
+		for _, side := range fig1Sides {
+			cfg := sim.Config{
+				Side: side, K: 100, M: m,
+				Strategy: sim.StrategySpec{Kind: sim.Nearest},
+				Seed:     opt.seed() + uint64(m*1000+side),
+			}
+			agg, err := sim.Run(cfg, trials, opt.Workers)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{
+				X: float64(side * side), Y: agg.MaxLoad.Mean(), CI: agg.MaxLoad.CI95(),
+				Extra: map[string]float64{"cost": agg.MeanCost.Mean()},
+			})
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t, nil
+}
+
+// fig2CacheSizes samples M ∈ [1, 100] as in Fig. 2's x axis.
+var fig2CacheSizes = []int{1, 2, 3, 4, 5, 6, 8, 10, 13, 16, 20, 25, 30, 40, 50, 60, 70, 85, 100}
+
+// Figure2 reproduces Fig. 2: communication cost of Strategy I versus cache
+// size, one curve per library size K ∈ {100, 1000, 2000}; torus n = 2025.
+// Paper: 10000 runs/point.
+func Figure2(opt Options) (*Table, error) {
+	trials := opt.trials(15, 10000)
+	t := &Table{
+		ID:     "fig2",
+		Title:  "Strategy I: communication cost vs cache size (n=2025)",
+		XLabel: "M",
+		YLabel: "avg cost (hops)",
+		Notes: []string{
+			fmt.Sprintf("trials/point = %d (paper: 10000)", trials),
+			"expected shape: C = Θ(√(K/M)) (Theorem 3, uniform popularity)",
+		},
+	}
+	for _, k := range []int{100, 1000, 2000} {
+		s := Series{Name: fmt.Sprintf("K=%d", k)}
+		for _, m := range fig2CacheSizes {
+			cfg := sim.Config{
+				Side: 45, K: k, M: m,
+				Strategy: sim.StrategySpec{Kind: sim.Nearest},
+				Seed:     opt.seed() + uint64(k*1000+m),
+			}
+			agg, err := sim.Run(cfg, trials, opt.Workers)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{
+				X: float64(m), Y: agg.MeanCost.Mean(), CI: agg.MeanCost.CI95(),
+				Extra: map[string]float64{"maxload": agg.MaxLoad.Mean()},
+			})
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t, nil
+}
+
+// fig3Sides spans n ≈ 2000 .. 1.2e5 as in Fig. 3/4's x axes.
+var fig3Sides = []int{45, 77, 110, 155, 200, 245, 283, 316, 346}
+
+// Figure34 reproduces Figs. 3 and 4 from the same simulations: Strategy II
+// with r = ∞, K = 2000, uniform popularity, M ∈ {1, 2, 10, 100}; max load
+// (Fig. 3) and communication cost (Fig. 4) versus n. Paper: 800 runs/point.
+func Figure34(opt Options) (*Table, *Table, error) {
+	trials := opt.trials(6, 800)
+	load := &Table{
+		ID:     "fig3",
+		Title:  "Strategy II (r=∞): maximum load vs number of servers (K=2000)",
+		XLabel: "n",
+		YLabel: "max load",
+		Notes: []string{
+			fmt.Sprintf("trials/point = %d (paper: 800)", trials),
+			"expected shape: high max load at low replication (nM/K small), dropping to two-choice levels once replication is ample; M=10,100 flat",
+		},
+	}
+	cost := &Table{
+		ID:     "fig4",
+		Title:  "Strategy II (r=∞): communication cost vs number of servers (K=2000)",
+		XLabel: "n",
+		YLabel: "avg cost (hops)",
+		Notes: []string{
+			fmt.Sprintf("trials/point = %d (paper: 800)", trials),
+			"expected shape: Θ(√n) growth, insensitive to M",
+		},
+	}
+	for _, m := range []int{1, 2, 10, 100} {
+		sl := Series{Name: fmt.Sprintf("M=%d", m)}
+		sc := Series{Name: fmt.Sprintf("M=%d", m)}
+		for _, side := range fig3Sides {
+			cfg := sim.Config{
+				Side: side, K: 2000, M: m,
+				Strategy: sim.StrategySpec{Kind: sim.TwoChoices, Radius: core.RadiusUnbounded},
+				Seed:     opt.seed() + uint64(m*10000+side),
+			}
+			agg, err := sim.Run(cfg, trials, opt.Workers)
+			if err != nil {
+				return nil, nil, err
+			}
+			n := float64(side * side)
+			extra := map[string]float64{"uncached": agg.Uncached.Mean()}
+			sl.Points = append(sl.Points, Point{X: n, Y: agg.MaxLoad.Mean(), CI: agg.MaxLoad.CI95(), Extra: extra})
+			sc.Points = append(sc.Points, Point{X: n, Y: agg.MeanCost.Mean(), CI: agg.MeanCost.CI95()})
+		}
+		load.Series = append(load.Series, sl)
+		cost.Series = append(cost.Series, sc)
+	}
+	return load, cost, nil
+}
+
+// Figure3 returns only the Fig. 3 table (max load).
+func Figure3(opt Options) (*Table, error) {
+	l, _, err := Figure34(opt)
+	return l, err
+}
+
+// Figure4 returns only the Fig. 4 table (communication cost).
+func Figure4(opt Options) (*Table, error) {
+	_, c, err := Figure34(opt)
+	return c, err
+}
+
+// fig5Radii sweeps the proximity constraint to trace the trade-off curve.
+var fig5Radii = []int{1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 26, 32, 44}
+
+// Figure5 reproduces Fig. 5: the maximum-load/communication-cost trade-off
+// of Strategy II, sweeping radius r; torus n = 2025, K = 500, uniform
+// popularity, M ∈ {1, 2, 5, 10, 20, 50, 200}. Each point is one radius:
+// x = measured cost, y = measured max load. Paper: 5000 runs/point.
+func Figure5(opt Options) (*Table, error) {
+	trials := opt.trials(10, 5000)
+	t := &Table{
+		ID:     "fig5",
+		Title:  "Strategy II: max load vs communication cost trade-off (n=2025, K=500)",
+		XLabel: "avg cost (hops)",
+		YLabel: "max load",
+		Notes: []string{
+			fmt.Sprintf("trials/point = %d (paper: 5000); one point per radius r ∈ %v", trials, fig5Radii),
+			"expected shape: high-M curves drop to ~log log n at tiny cost; M=1 stays flat-high; intermediate M trade off",
+		},
+	}
+	for _, m := range []int{1, 2, 5, 10, 20, 50, 200} {
+		s := Series{Name: fmt.Sprintf("M=%d", m)}
+		for _, r := range fig5Radii {
+			cfg := sim.Config{
+				Side: 45, K: 500, M: m,
+				Strategy: sim.StrategySpec{Kind: sim.TwoChoices, Radius: r},
+				Seed:     opt.seed() + uint64(m*1000+r),
+			}
+			agg, err := sim.Run(cfg, trials, opt.Workers)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, Point{
+				X: agg.MeanCost.Mean(), Y: agg.MaxLoad.Mean(), CI: agg.MaxLoad.CI95(),
+				Extra: map[string]float64{
+					"radius":    float64(r),
+					"escalated": agg.Escalated.Mean(),
+				},
+			})
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t, nil
+}

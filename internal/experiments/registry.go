@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner produces one reproduced table or figure.
+type Runner func(Options) (*Table, error)
+
+// registry maps experiment IDs to their runners. Figure34 is registered
+// through its two single-table views so every ID yields exactly one table.
+var registry = map[string]Runner{
+	"fig1":             Figure1,
+	"fig2":             Figure2,
+	"fig3":             Figure3,
+	"fig4":             Figure4,
+	"fig5":             Figure5,
+	"zipf-cost":        ZipfCostTable,
+	"uniform-cost-law": UniformCostLaw,
+	"thm12":            Theorem12Fit,
+	"thm4":             Theorem4Regimes,
+	"lemma1":           Lemma1Cells,
+	"confgraph":        ConfigGraphStats,
+	"example3":         Example3Study,
+	"supermarket":      Supermarket,
+	"placement":        PlacementPolicies,
+	"linkload":         LinkCongestion,
+	"heavyload":        HeavyLoad,
+	"beta-choice":      BetaChoice,
+	"directory":        DirectoryOverhead,
+	"drift":            PopularityDrift,
+}
+
+// IDs returns all experiment identifiers, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Lookup resolves an experiment ID.
+func Lookup(id string) (Runner, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	return r, nil
+}

@@ -1,0 +1,49 @@
+package grid
+
+import "testing"
+
+// FuzzDistBall cross-checks Dist, BallSizeAt and Ball membership on
+// arbitrary lattices; it runs its seed corpus under plain `go test` and
+// explores further under `go test -fuzz=FuzzDistBall ./internal/grid`.
+func FuzzDistBall(f *testing.F) {
+	f.Add(uint8(5), uint8(7), uint8(12), uint8(3), true)
+	f.Add(uint8(1), uint8(0), uint8(0), uint8(0), false)
+	f.Add(uint8(2), uint8(1), uint8(3), uint8(9), true)
+	f.Add(uint8(16), uint8(200), uint8(90), uint8(30), false)
+	f.Fuzz(func(t *testing.T, lRaw, uRaw, vRaw, rRaw uint8, torus bool) {
+		l := int(lRaw)%16 + 1
+		topo := Bounded
+		if torus {
+			topo = Torus
+		}
+		g := New(l, topo)
+		u := int(uRaw) % g.N()
+		v := int(vRaw) % g.N()
+		r := int(rRaw) % (g.Diameter() + 2)
+
+		d := g.Dist(u, v)
+		if d != g.Dist(v, u) {
+			t.Fatalf("asymmetric distance %d vs %d", d, g.Dist(v, u))
+		}
+		if d < 0 || d > g.Diameter() {
+			t.Fatalf("distance %d outside [0, %d]", d, g.Diameter())
+		}
+		ball := g.Ball(u, r, nil)
+		if len(ball) != g.BallSizeAt(u, r) {
+			t.Fatalf("Ball has %d nodes, BallSizeAt says %d", len(ball), g.BallSizeAt(u, r))
+		}
+		inBall := d <= r
+		found := false
+		for _, w := range ball {
+			if int(w) == v {
+				found = true
+			}
+			if g.Dist(u, int(w)) > r {
+				t.Fatalf("ball member %d at distance %d > %d", w, g.Dist(u, int(w)), r)
+			}
+		}
+		if found != inBall {
+			t.Fatalf("membership mismatch: d=%d r=%d found=%v", d, r, found)
+		}
+	})
+}

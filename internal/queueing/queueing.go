@@ -1,0 +1,241 @@
+// Package queueing implements the continuous-time counterpart of the
+// paper's static model: the proximity-aware supermarket model conjectured
+// in §VI to behave like the balls-into-bins analysis. Requests arrive as a
+// Poisson process of rate λ·n, each at a uniform origin for a file drawn
+// from the popularity profile; the dispatcher samples d replicas within
+// hop radius r and joins the shortest queue (JSQ(d)); every server is an
+// exponential-rate-1 FCFS queue. A discrete-event engine (binary heap)
+// simulates the system and reports queue-length and sojourn statistics.
+package queueing
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/cache"
+	"repro/internal/dist"
+	"repro/internal/grid"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Config declares one supermarket-model run.
+type Config struct {
+	// Side is the torus side L (n = L² servers).
+	Side int
+	// K, M are the library and cache sizes; Gamma the Zipf exponent
+	// (0 = uniform popularity).
+	K, M  int
+	Gamma float64
+	// Lambda is the per-server arrival rate; the system is stable for
+	// Lambda < 1.
+	Lambda float64
+	// Radius is the proximity constraint in hops (negative = ∞).
+	Radius int
+	// Choices is d, the number of sampled replicas per arrival (0 → 2).
+	Choices int
+	// Horizon is the simulated time span (time units of mean service).
+	Horizon float64
+	// WarmUp discards statistics before this time (transient removal).
+	WarmUp float64
+	// Seed is the deterministic root seed.
+	Seed uint64
+}
+
+func (c Config) validate() error {
+	if c.Side <= 0 || c.K <= 0 || c.M <= 0 {
+		return fmt.Errorf("queueing: need Side, K, M > 0, got %d %d %d", c.Side, c.K, c.M)
+	}
+	if c.Lambda <= 0 || c.Lambda >= 1 {
+		return fmt.Errorf("queueing: Lambda must be in (0,1), got %v", c.Lambda)
+	}
+	if c.Horizon <= 0 || c.WarmUp < 0 || c.WarmUp >= c.Horizon {
+		return fmt.Errorf("queueing: need 0 <= WarmUp < Horizon, got %v, %v", c.WarmUp, c.Horizon)
+	}
+	return nil
+}
+
+// Result aggregates one run's steady-state observations.
+type Result struct {
+	// MaxQueue is the largest instantaneous queue length observed after
+	// warm-up — the continuous-time analogue of the paper's max load.
+	MaxQueue int
+	// MeanQueue is the time-averaged per-server queue length.
+	MeanQueue float64
+	// Sojourn summarizes response times of jobs completed after warm-up.
+	Sojourn stats.Summary
+	// MeanHops is the average origin→server distance (communication cost).
+	MeanHops float64
+	// Arrivals and Departures count post-warm-up events.
+	Arrivals, Departures int
+	// Backhauls counts arrivals for files cached nowhere (served at the
+	// origin, mirroring sim's backhaul accounting).
+	Backhauls int
+}
+
+// event kinds for the simulation heap.
+const (
+	evArrival = iota
+	evDeparture
+)
+
+type event struct {
+	at   float64
+	kind int
+	node int32
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Run executes the discrete-event simulation.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	d := cfg.Choices
+	if d == 0 {
+		d = 2
+	}
+	src := xrand.NewSource(cfg.Seed)
+	placeRNG := src.Split(1).Stream(0)
+	evRNG := src.Split(2).Stream(0)
+
+	g := grid.New(cfg.Side, grid.Torus)
+	var pop dist.Popularity
+	if cfg.Gamma > 0 {
+		pop = dist.NewZipf(cfg.K, cfg.Gamma)
+	} else {
+		pop = dist.NewUniform(cfg.K)
+	}
+	p := cache.Place(g.N(), cfg.M, pop, cache.WithReplacement, placeRNG)
+
+	radius := cfg.Radius
+	if radius < 0 || radius >= g.Diameter() {
+		radius = -1
+	}
+
+	n := g.N()
+	qlen := make([]int32, n)     // jobs in system per server
+	fifo := make([][]float64, n) // arrival stamps per server (FCFS)
+	totalRate := cfg.Lambda * float64(n)
+
+	var res Result
+	var queueArea float64 // ∫ Σ qlen dt after warm-up
+	var hopSum float64
+	var hopCount int
+	now := 0.0
+	lastT := cfg.WarmUp
+
+	h := &eventHeap{{at: evRNG.ExpFloat64() / totalRate, kind: evArrival}}
+	heap.Init(h)
+
+	var candBuf []int32
+	pickServer := func(origin, file int, r *rand.Rand) (int32, bool) {
+		reps := p.Replicas(file)
+		if len(reps) == 0 {
+			return int32(origin), false
+		}
+		pool := reps
+		if radius >= 0 {
+			candBuf = candBuf[:0]
+			for _, v := range reps {
+				if g.Dist(origin, int(v)) <= radius {
+					candBuf = append(candBuf, v)
+				}
+			}
+			if len(candBuf) > 0 {
+				pool = candBuf
+			} // else escalate to the full replica set
+		}
+		best := pool[r.IntN(len(pool))]
+		for c := 1; c < d; c++ {
+			v := pool[r.IntN(len(pool))]
+			if qlen[v] < qlen[best] || (qlen[v] == qlen[best] && r.IntN(2) == 0) {
+				best = v
+			}
+		}
+		return best, true
+	}
+
+	advance := func(t float64) {
+		if t > cfg.WarmUp {
+			from := lastT
+			if from < cfg.WarmUp {
+				from = cfg.WarmUp
+			}
+			var tot int64
+			for _, q := range qlen {
+				tot += int64(q)
+			}
+			queueArea += float64(tot) * (t - from)
+			lastT = t
+		}
+	}
+
+	for h.Len() > 0 {
+		ev := heap.Pop(h).(event)
+		if ev.at > cfg.Horizon {
+			break
+		}
+		advance(ev.at)
+		now = ev.at
+		switch ev.kind {
+		case evArrival:
+			// Schedule the next arrival first (Poisson process).
+			heap.Push(h, event{at: now + evRNG.ExpFloat64()/totalRate, kind: evArrival})
+			origin := evRNG.IntN(n)
+			file := pop.Sample(evRNG)
+			srv, served := pickServer(origin, file, evRNG)
+			if now > cfg.WarmUp {
+				res.Arrivals++
+				if !served {
+					res.Backhauls++
+				}
+				hopSum += float64(g.Dist(origin, int(srv)))
+				hopCount++
+			}
+			qlen[srv]++
+			fifo[srv] = append(fifo[srv], now)
+			if int(qlen[srv]) > res.MaxQueue && now > cfg.WarmUp {
+				res.MaxQueue = int(qlen[srv])
+			}
+			if qlen[srv] == 1 {
+				heap.Push(h, event{at: now + evRNG.ExpFloat64(), kind: evDeparture, node: srv})
+			}
+		case evDeparture:
+			srv := ev.node
+			qlen[srv]--
+			arrivedAt := fifo[srv][0]
+			fifo[srv] = fifo[srv][1:]
+			if now > cfg.WarmUp {
+				res.Departures++
+				res.Sojourn.Add(now - arrivedAt)
+			}
+			if qlen[srv] > 0 {
+				heap.Push(h, event{at: now + evRNG.ExpFloat64(), kind: evDeparture, node: srv})
+			}
+		}
+	}
+	advance(cfg.Horizon)
+	span := cfg.Horizon - cfg.WarmUp
+	if span > 0 {
+		res.MeanQueue = queueArea / span / float64(n)
+	}
+	if hopCount > 0 {
+		res.MeanHops = hopSum / float64(hopCount)
+	}
+	return res, nil
+}

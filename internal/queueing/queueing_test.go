@@ -1,0 +1,185 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+)
+
+func baseCfg() Config {
+	return Config{
+		Side:    15, // n = 225
+		K:       50,
+		M:       4,
+		Lambda:  0.7,
+		Radius:  -1,
+		Horizon: 200,
+		WarmUp:  50,
+		Seed:    1,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for name, mut := range map[string]func(*Config){
+		"side":        func(c *Config) { c.Side = 0 },
+		"k":           func(c *Config) { c.K = 0 },
+		"m":           func(c *Config) { c.M = 0 },
+		"lambda zero": func(c *Config) { c.Lambda = 0 },
+		"lambda one":  func(c *Config) { c.Lambda = 1 },
+		"horizon":     func(c *Config) { c.Horizon = 0 },
+		"warmup":      func(c *Config) { c.WarmUp = 500 },
+	} {
+		c := baseCfg()
+		mut(&c)
+		if _, err := Run(c); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxQueue != b.MaxQueue || a.Arrivals != b.Arrivals ||
+		math.Abs(a.MeanQueue-b.MeanQueue) > 1e-12 {
+		t.Fatalf("same seed, different results: %+v vs %+v", a, b)
+	}
+	c := baseCfg()
+	c.Seed = 2
+	d, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Arrivals == a.Arrivals && d.MeanQueue == a.MeanQueue {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestStabilityAndThroughput(t *testing.T) {
+	res, err := Run(baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Post-warm-up arrivals ≈ λ·n·(Horizon-WarmUp) within 10%.
+	expect := 0.7 * 225 * 150
+	if math.Abs(float64(res.Arrivals)-expect)/expect > 0.1 {
+		t.Fatalf("arrivals %d, expected ≈ %.0f", res.Arrivals, expect)
+	}
+	// Stable system: departures keep pace with arrivals.
+	if float64(res.Departures) < 0.9*float64(res.Arrivals) {
+		t.Fatalf("departures %d lag arrivals %d", res.Departures, res.Arrivals)
+	}
+	// Little's law sanity: mean queue ≈ λ · mean sojourn (±30%).
+	little := 0.7 * res.Sojourn.Mean()
+	if res.MeanQueue < 0.7*little || res.MeanQueue > 1.3*little {
+		t.Fatalf("Little's law violated: L=%v λW=%v", res.MeanQueue, little)
+	}
+	if res.MaxQueue < 1 {
+		t.Fatal("no queueing observed at λ=0.7")
+	}
+}
+
+func TestSupermarketEffect(t *testing.T) {
+	// JSQ(2) must beat random assignment (d=1) on both max queue and
+	// sojourn — Mitzenmacher's supermarket result, and the paper's §VI
+	// conjecture in our cache-constrained setting.
+	c1 := baseCfg()
+	c1.Choices = 1
+	c1.Lambda = 0.85
+	c2 := baseCfg()
+	c2.Choices = 2
+	c2.Lambda = 0.85
+	r1, err := Run(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(r2.MaxQueue < r1.MaxQueue) {
+		t.Fatalf("JSQ(2) max queue %d not below random %d", r2.MaxQueue, r1.MaxQueue)
+	}
+	if !(r2.Sojourn.Mean() < r1.Sojourn.Mean()) {
+		t.Fatalf("JSQ(2) sojourn %.3f not below random %.3f", r2.Sojourn.Mean(), r1.Sojourn.Mean())
+	}
+}
+
+func TestRadiusBoundsHops(t *testing.T) {
+	c := baseCfg()
+	c.M = 16 // dense replication so the radius rarely escalates
+	c.K = 30
+	c.Radius = 3
+	res, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanHops > 3.5 {
+		t.Fatalf("mean hops %.2f well above radius 3", res.MeanHops)
+	}
+	cInf := baseCfg()
+	cInf.M = 16
+	cInf.K = 30
+	rInf, err := Run(cInf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.MeanHops < rInf.MeanHops) {
+		t.Fatalf("radius 3 hops %.2f not below unbounded %.2f", res.MeanHops, rInf.MeanHops)
+	}
+}
+
+func TestBackhaulAccounting(t *testing.T) {
+	c := baseCfg()
+	c.K = 5000 // K >> nM: many uncached files
+	c.M = 1
+	res, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backhauls == 0 {
+		t.Fatal("expected backhauls with a mostly-uncached library")
+	}
+	if res.Backhauls > res.Arrivals {
+		t.Fatalf("backhauls %d exceed arrivals %d", res.Backhauls, res.Arrivals)
+	}
+}
+
+func TestZipfRuns(t *testing.T) {
+	c := baseCfg()
+	c.Gamma = 1.1
+	if _, err := Run(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowLoadShortQueues(t *testing.T) {
+	c := baseCfg()
+	c.Lambda = 0.2
+	res, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At λ=0.2 with two choices, queues should stay tiny.
+	if res.MeanQueue > 0.5 || res.MaxQueue > 6 {
+		t.Fatalf("low-load queues too long: mean %.3f max %d", res.MeanQueue, res.MaxQueue)
+	}
+}
+
+func BenchmarkSupermarketRun(b *testing.B) {
+	c := baseCfg()
+	c.Horizon = 60
+	c.WarmUp = 10
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Seed = uint64(i)
+		if _, err := Run(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

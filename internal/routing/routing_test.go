@@ -1,0 +1,178 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+	"repro/internal/xrand"
+)
+
+func TestDirString(t *testing.T) {
+	want := map[Dir]string{East: "east", West: "west", North: "north", South: "south"}
+	for d, s := range want {
+		if d.String() != s {
+			t.Errorf("Dir %d = %q, want %q", d, d.String(), s)
+		}
+	}
+	if Dir(9).String() != "Dir(9)" {
+		t.Fatal("fallback Dir string wrong")
+	}
+}
+
+func TestRouteLengthEqualsDist(t *testing.T) {
+	for _, topo := range []grid.Topology{grid.Torus, grid.Bounded} {
+		g := grid.New(9, topo)
+		l := NewLinkLoads(g)
+		for u := 0; u < g.N(); u += 2 {
+			for v := 0; v < g.N(); v += 3 {
+				if got, want := l.Route(u, v), g.Dist(u, v); got != want {
+					t.Fatalf("%v Route(%d,%d) = %d hops, Dist = %d", topo, u, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPathIsValidWalk(t *testing.T) {
+	prop := func(seed uint64, lRaw uint8) bool {
+		l := int(lRaw)%10 + 2
+		g := grid.New(l, grid.Torus)
+		r := xrand.NewSource(seed).Stream(0)
+		src, dst := r.IntN(g.N()), r.IntN(g.N())
+		path := Path(g, src, dst)
+		if path[0] != int32(src) || path[len(path)-1] != int32(dst) {
+			return false
+		}
+		if len(path)-1 != g.Dist(src, dst) {
+			return false
+		}
+		for i := 1; i < len(path); i++ {
+			if g.Dist(int(path[i-1]), int(path[i])) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouteTotalsMatchPathLengths(t *testing.T) {
+	g := grid.New(7, grid.Torus)
+	l := NewLinkLoads(g)
+	r := xrand.NewSource(4).Stream(0)
+	var want int64
+	for i := 0; i < 500; i++ {
+		u, v := r.IntN(g.N()), r.IntN(g.N())
+		want += int64(g.Dist(u, v))
+		l.Route(u, v)
+	}
+	if l.Total() != want {
+		t.Fatalf("total link crossings %d, want %d", l.Total(), want)
+	}
+}
+
+func TestLinkAccountingPerDirection(t *testing.T) {
+	g := grid.New(5, grid.Torus)
+	l := NewLinkLoads(g)
+	// One hop east from node 0 (=(0,0)) to node 1 (=(1,0)).
+	if hops := l.Route(0, 1); hops != 1 {
+		t.Fatalf("adjacent route %d hops", hops)
+	}
+	if l.Load(0, East) != 1 {
+		t.Fatalf("east link of 0 has load %d", l.Load(0, East))
+	}
+	if l.Total() != 1 || l.Max() != 1 {
+		t.Fatalf("totals wrong: %d %d", l.Total(), l.Max())
+	}
+	// Wrapped west: 0 -> 4 is 1 hop west on a 5-torus.
+	l2 := NewLinkLoads(g)
+	l2.Route(0, 4)
+	if l2.Load(0, West) != 1 {
+		t.Fatalf("wrapped west link load %d", l2.Load(0, West))
+	}
+	// Vertical: 0 -> (0,1)=5 goes south.
+	l3 := NewLinkLoads(g)
+	l3.Route(0, 5)
+	if l3.Load(0, South) != 1 {
+		t.Fatalf("south link load %d", l3.Load(0, South))
+	}
+	l4 := NewLinkLoads(g)
+	l4.Route(5, 0)
+	if l4.Load(5, North) != 1 {
+		t.Fatalf("north link load %d", l4.Load(5, North))
+	}
+}
+
+func TestSelfRouteIsFree(t *testing.T) {
+	g := grid.New(6, grid.Torus)
+	l := NewLinkLoads(g)
+	if l.Route(7, 7) != 0 || l.Total() != 0 {
+		t.Fatal("self route should touch no links")
+	}
+	p := Path(g, 7, 7)
+	if len(p) != 1 || p[0] != 7 {
+		t.Fatalf("self path %v", p)
+	}
+}
+
+func TestCongestionFactor(t *testing.T) {
+	g := grid.New(4, grid.Torus)
+	l := NewLinkLoads(g)
+	if l.CongestionFactor() != 0 {
+		t.Fatal("idle network should report 0")
+	}
+	// Hammer one link.
+	for i := 0; i < 10; i++ {
+		l.Route(0, 1)
+	}
+	if cf := l.CongestionFactor(); cf <= 1 {
+		t.Fatalf("hot link congestion factor %v, want > 1", cf)
+	}
+	s := l.Summary()
+	if s.N() != g.N()*4 {
+		t.Fatalf("summary over %d links, want %d", s.N(), g.N()*4)
+	}
+}
+
+func TestUniformTrafficNearEvenOnTorus(t *testing.T) {
+	// Random src/dst traffic on a torus should spread almost evenly:
+	// congestion factor close to 1 (vertex-transitivity), certainly < 2.
+	g := grid.New(10, grid.Torus)
+	l := NewLinkLoads(g)
+	r := xrand.NewSource(8).Stream(0)
+	for i := 0; i < 200000; i++ {
+		l.Route(r.IntN(g.N()), r.IntN(g.N()))
+	}
+	if cf := l.CongestionFactor(); cf > 1.5 {
+		t.Fatalf("uniform torus traffic congestion factor %v, want < 1.5", cf)
+	}
+}
+
+func TestBoundedGridCenterHotter(t *testing.T) {
+	// On the bounded grid, uniform traffic concentrates in the middle —
+	// the boundary effect the torus removes (Remark 1).
+	g := grid.New(9, grid.Bounded)
+	l := NewLinkLoads(g)
+	r := xrand.NewSource(9).Stream(0)
+	for i := 0; i < 100000; i++ {
+		l.Route(r.IntN(g.N()), r.IntN(g.N()))
+	}
+	center := l.Load(g.ID(4, 4), East)
+	corner := l.Load(g.ID(0, 0), East)
+	if center <= corner {
+		t.Fatalf("center link %d not hotter than corner link %d", center, corner)
+	}
+}
+
+func BenchmarkRoute(b *testing.B) {
+	g := grid.New(45, grid.Torus)
+	l := NewLinkLoads(g)
+	r := xrand.NewSource(1).Stream(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Route(r.IntN(g.N()), r.IntN(g.N()))
+	}
+}

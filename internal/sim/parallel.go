@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Run executes trials independent trials of cfg across a worker pool and
+// returns the merged aggregate. Trials are embarrassingly parallel; each
+// carries its own deterministic RNG streams, so the result is identical
+// for any worker count (workers ≤ 0 uses GOMAXPROCS).
+func Run(cfg Config, trials, workers int) (Aggregate, error) {
+	if err := cfg.validate(); err != nil {
+		return Aggregate{}, err
+	}
+	if trials <= 0 {
+		return Aggregate{}, fmt.Errorf("sim: trials must be positive, got %d", trials)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+
+	// Static block partition keeps per-worker state cache-friendly and
+	// the reduction deterministic: worker w owns trials [lo_w, hi_w).
+	partials := make([]Aggregate, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := trials * w / workers
+		hi := trials * (w + 1) / workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for t := lo; t < hi; t++ {
+				res, err := RunTrial(cfg, uint64(t))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				partials[w].Add(res)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var agg Aggregate
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return Aggregate{}, errs[w]
+		}
+		agg.Merge(partials[w])
+	}
+	return agg, nil
+}
+
+// RunSeries executes Run over a slice of configs (one experiment curve),
+// parallelizing trials within each point. Results are returned in input
+// order. A non-nil error aborts the series.
+func RunSeries(cfgs []Config, trials, workers int) ([]Aggregate, error) {
+	out := make([]Aggregate, len(cfgs))
+	for i, cfg := range cfgs {
+		a, err := Run(cfg, trials, workers)
+		if err != nil {
+			return nil, fmt.Errorf("sim: point %d (%+v): %w", i, cfg, err)
+		}
+		out[i] = a
+	}
+	return out, nil
+}

@@ -1,0 +1,328 @@
+// Package sim is the experiment engine: it assembles a cache network
+// (topology + placement + strategy) from a declarative Config, replays the
+// paper's request process (n sequential requests, uniform origins, files
+// drawn from the popularity profile), and aggregates the two metrics of
+// Definition 1 — maximum load L and communication cost C — over many
+// independent trials run in parallel.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/ballsbins"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/grid"
+	"repro/internal/replication"
+	"repro/internal/routing"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// PopKind selects the popularity profile family.
+type PopKind int
+
+const (
+	// PopUniform is p_i = 1/K.
+	PopUniform PopKind = iota
+	// PopZipf is p_i ∝ 1/i^γ.
+	PopZipf
+)
+
+// PopSpec declares the popularity profile.
+type PopSpec struct {
+	Kind  PopKind
+	Gamma float64 // Zipf exponent; ignored for PopUniform
+}
+
+// Build materializes the profile for library size k.
+func (ps PopSpec) Build(k int) dist.Popularity {
+	switch ps.Kind {
+	case PopUniform:
+		return dist.NewUniform(k)
+	case PopZipf:
+		return dist.NewZipf(k, ps.Gamma)
+	default:
+		panic(fmt.Sprintf("sim: unknown popularity kind %d", ps.Kind))
+	}
+}
+
+// StrategyKind selects the assignment strategy family.
+type StrategyKind int
+
+const (
+	// Nearest is Strategy I.
+	Nearest StrategyKind = iota
+	// TwoChoices is Strategy II (and its d-choice generalization).
+	TwoChoices
+	// OneChoiceRandom is the load-blind random-replica baseline.
+	OneChoiceRandom
+	// Oracle is the full-information least-loaded-in-radius baseline.
+	Oracle
+)
+
+// String implements fmt.Stringer.
+func (s StrategyKind) String() string {
+	switch s {
+	case Nearest:
+		return "nearest"
+	case TwoChoices:
+		return "two-choices"
+	case OneChoiceRandom:
+		return "one-choice"
+	case Oracle:
+		return "oracle"
+	default:
+		return fmt.Sprintf("StrategyKind(%d)", int(s))
+	}
+}
+
+// StrategySpec declares the assignment strategy.
+type StrategySpec struct {
+	Kind StrategyKind
+	// Radius is the proximity constraint in hops for the choice-based
+	// strategies (core.RadiusUnbounded = ∞). Ignored by Nearest.
+	Radius int
+	// Choices is d for TwoChoices (0 → 2).
+	Choices int
+	// WithoutReplacement samples candidates distinct when possible.
+	WithoutReplacement bool
+	// Beta in (0,1) selects the (1+β)-choice process for TwoChoices.
+	Beta float64
+}
+
+// MissPolicy resolves requests the placement cannot serve (DESIGN.md §4.4).
+type MissPolicy int
+
+const (
+	// MissResample conditions the request stream on files cached
+	// somewhere in the network (popularity renormalized), and escalates
+	// to r = ∞ when the radius holds no replica. Default for paper
+	// reproductions.
+	MissResample MissPolicy = iota
+	// MissEscalate keeps the unconditioned request stream; uncached
+	// files are served via backhaul at the origin, radius misses escalate.
+	MissEscalate
+	// MissOrigin keeps the unconditioned stream and serves any miss
+	// (uncached file or empty radius) via backhaul at the origin.
+	MissOrigin
+)
+
+// String implements fmt.Stringer.
+func (m MissPolicy) String() string {
+	switch m {
+	case MissResample:
+		return "resample"
+	case MissEscalate:
+		return "escalate"
+	case MissOrigin:
+		return "origin"
+	default:
+		return fmt.Sprintf("MissPolicy(%d)", int(m))
+	}
+}
+
+// Config declares one simulated world. The zero value is not runnable; use
+// the documented fields (Side, K, M are mandatory).
+type Config struct {
+	// Side is the lattice side L; the network has n = L² servers.
+	Side int
+	// Topology is torus (paper default) or bounded grid.
+	Topology grid.Topology
+	// K is the library size; M the per-node cache size.
+	K, M int
+	// Popularity declares the file popularity profile (zero value:
+	// Uniform, the paper's simulation setting).
+	Popularity PopSpec
+	// PlacementMode is with-replacement (paper) or without (ablation).
+	PlacementMode cache.Mode
+	// PlacementPolicy transforms popularity into the placement profile
+	// (zero value: Proportional, the paper's rule). See replication.
+	PlacementPolicy replication.Policy
+	// CapFactor parameterizes replication.Capped (0 = default factor).
+	CapFactor float64
+	// Strategy declares the assignment strategy (zero value: Nearest).
+	Strategy StrategySpec
+	// Requests is the number of sequential requests (0 → n, the paper's
+	// one-request-per-server-on-average regime).
+	Requests int
+	// MissPolicy resolves unservable requests (zero value: MissResample).
+	MissPolicy MissPolicy
+	// CollectLinks additionally routes every delivery hop-by-hop (XY
+	// routing) and reports link-congestion metrics in Result.
+	CollectLinks bool
+	// Seed is the deterministic root seed for this configuration.
+	Seed uint64
+}
+
+// N returns the number of servers n = Side².
+func (c Config) N() int { return c.Side * c.Side }
+
+func (c Config) validate() error {
+	if c.Side <= 0 {
+		return fmt.Errorf("sim: Side must be positive, got %d", c.Side)
+	}
+	if c.K <= 0 || c.M <= 0 {
+		return fmt.Errorf("sim: K and M must be positive, got K=%d M=%d", c.K, c.M)
+	}
+	if c.Requests < 0 {
+		return fmt.Errorf("sim: Requests must be non-negative, got %d", c.Requests)
+	}
+	return nil
+}
+
+// Result holds the metrics of a single trial.
+type Result struct {
+	MaxLoad   int     // L = max_i T_i (Definition 1)
+	MeanCost  float64 // C = average hops over requests (Definition 1)
+	Requests  int     // requests issued
+	Escalated int     // radius misses that widened to r = ∞
+	Backhaul  int     // requests served from upstream at the origin
+	Uncached  int     // library files with zero replicas in this trial
+
+	// Link metrics, populated only when Config.CollectLinks is set.
+	MaxLinkLoad    int64   // traffic on the hottest directed link
+	LinkCongestion float64 // max/mean link load (1 = perfectly even)
+}
+
+// RunTrial executes one independent trial (trial index t under cfg.Seed).
+// Identical (cfg, t) pairs produce identical results.
+func RunTrial(cfg Config, t uint64) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	src := xrand.NewSource(cfg.Seed)
+	placeRNG := src.Split(1).Stream(t)
+	reqRNG := src.Split(2).Stream(t)
+
+	g := grid.New(cfg.Side, cfg.Topology)
+	pop := cfg.Popularity.Build(cfg.K)
+	placeProfile := replication.PlacementProfile(pop, cfg.PlacementPolicy, cfg.CapFactor)
+	placement := cache.Place(g.N(), cfg.M, placeProfile, cfg.PlacementMode, placeRNG)
+	strat := buildStrategy(cfg, g, placement)
+
+	// Request-stream file sampler per miss policy.
+	fileSampler := pop
+	if cfg.MissPolicy == MissResample && placement.UncachedCount() > 0 {
+		w := make([]float64, cfg.K)
+		for _, j := range placement.CachedFiles() {
+			w[j] = pop.P(int(j))
+		}
+		fileSampler = dist.NewCustom(w, pop.Name()+"|cached")
+	}
+
+	nReq := cfg.Requests
+	if nReq == 0 {
+		nReq = g.N()
+	}
+	loads := ballsbins.NewLoads(g.N())
+	res := Result{Requests: nReq, Uncached: placement.UncachedCount()}
+	var links *routing.LinkLoads
+	if cfg.CollectLinks {
+		links = routing.NewLinkLoads(g)
+	}
+	var hops float64
+	for i := 0; i < nReq; i++ {
+		req := core.Request{
+			Origin: int32(reqRNG.IntN(g.N())),
+			File:   int32(fileSampler.Sample(reqRNG)),
+		}
+		a := strat.Assign(req, loads, reqRNG)
+		loads.Add(int(a.Server))
+		hops += float64(a.Hops)
+		if a.Escalated {
+			res.Escalated++
+		}
+		if a.Backhaul {
+			res.Backhaul++
+		}
+		if links != nil {
+			links.Route(int(req.Origin), int(a.Server))
+		}
+	}
+	if links != nil {
+		res.MaxLinkLoad = links.Max()
+		res.LinkCongestion = links.CongestionFactor()
+	}
+	res.MaxLoad = loads.Max()
+	if nReq > 0 {
+		res.MeanCost = hops / float64(nReq)
+	}
+	return res, nil
+}
+
+// buildStrategy materializes cfg.Strategy over a concrete world.
+func buildStrategy(cfg Config, g *grid.Grid, p *cache.Placement) core.Strategy {
+	sp := cfg.Strategy
+	switch sp.Kind {
+	case Nearest:
+		return core.NewNearestReplica(g, p)
+	case TwoChoices:
+		return core.NewTwoChoice(g, p, core.TwoChoiceConfig{
+			Radius:             sp.Radius,
+			Choices:            sp.Choices,
+			WithoutReplacement: sp.WithoutReplacement,
+			Beta:               sp.Beta,
+			NoEscalate:         cfg.MissPolicy == MissOrigin,
+		})
+	case OneChoiceRandom:
+		return core.NewTwoChoice(g, p, core.TwoChoiceConfig{
+			Radius:     sp.Radius,
+			Choices:    1,
+			NoEscalate: cfg.MissPolicy == MissOrigin,
+		})
+	case Oracle:
+		return core.NewLeastLoadedOracle(g, p, sp.Radius)
+	default:
+		panic(fmt.Sprintf("sim: unknown strategy kind %d", sp.Kind))
+	}
+}
+
+// Aggregate folds trial results into experiment-level statistics.
+type Aggregate struct {
+	Trials    int
+	MaxLoad   stats.Summary
+	MeanCost  stats.Summary
+	Escalated stats.Summary // per-trial escalation fraction
+	Backhaul  stats.Summary // per-trial backhaul fraction
+	Uncached  stats.Summary // per-trial uncached-file count
+
+	// Link metrics (only meaningful when Config.CollectLinks is set).
+	MaxLinkLoad    stats.Summary
+	LinkCongestion stats.Summary
+}
+
+// Add folds one trial result into the aggregate.
+func (a *Aggregate) Add(r Result) {
+	a.Trials++
+	a.MaxLoad.Add(float64(r.MaxLoad))
+	a.MeanCost.Add(r.MeanCost)
+	if r.Requests > 0 {
+		a.Escalated.Add(float64(r.Escalated) / float64(r.Requests))
+		a.Backhaul.Add(float64(r.Backhaul) / float64(r.Requests))
+	}
+	a.Uncached.Add(float64(r.Uncached))
+	if r.LinkCongestion > 0 {
+		a.MaxLinkLoad.Add(float64(r.MaxLinkLoad))
+		a.LinkCongestion.Add(r.LinkCongestion)
+	}
+}
+
+// Merge folds another aggregate into a (parallel reduction).
+func (a *Aggregate) Merge(o Aggregate) {
+	a.Trials += o.Trials
+	a.MaxLoad.Merge(o.MaxLoad)
+	a.MeanCost.Merge(o.MeanCost)
+	a.Escalated.Merge(o.Escalated)
+	a.Backhaul.Merge(o.Backhaul)
+	a.Uncached.Merge(o.Uncached)
+	a.MaxLinkLoad.Merge(o.MaxLinkLoad)
+	a.LinkCongestion.Merge(o.LinkCongestion)
+}
+
+// String renders the headline metrics.
+func (a Aggregate) String() string {
+	return fmt.Sprintf("L=%.3f±%.3f C=%.3f±%.3f (trials=%d)",
+		a.MaxLoad.Mean(), a.MaxLoad.CI95(), a.MeanCost.Mean(), a.MeanCost.CI95(), a.Trials)
+}

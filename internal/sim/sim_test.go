@@ -1,0 +1,367 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/grid"
+)
+
+func baseConfig() Config {
+	return Config{
+		Side: 15, // n = 225
+		K:    50,
+		M:    2,
+		Seed: 42,
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if Nearest.String() != "nearest" || TwoChoices.String() != "two-choices" ||
+		OneChoiceRandom.String() != "one-choice" || Oracle.String() != "oracle" ||
+		StrategyKind(9).String() != "StrategyKind(9)" {
+		t.Fatal("StrategyKind strings wrong")
+	}
+	if MissResample.String() != "resample" || MissEscalate.String() != "escalate" ||
+		MissOrigin.String() != "origin" || MissPolicy(9).String() != "MissPolicy(9)" {
+		t.Fatal("MissPolicy strings wrong")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for name, mut := range map[string]func(*Config){
+		"side":     func(c *Config) { c.Side = 0 },
+		"k":        func(c *Config) { c.K = 0 },
+		"m":        func(c *Config) { c.M = -1 },
+		"requests": func(c *Config) { c.Requests = -5 },
+	} {
+		c := baseConfig()
+		mut(&c)
+		if _, err := RunTrial(c, 0); err == nil {
+			t.Errorf("%s: invalid config accepted", name)
+		}
+		if _, err := Run(c, 1, 1); err == nil {
+			t.Errorf("%s: Run accepted invalid config", name)
+		}
+	}
+	if _, err := Run(baseConfig(), 0, 1); err == nil {
+		t.Error("Run accepted zero trials")
+	}
+}
+
+func TestTrialDeterminism(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Strategy = StrategySpec{Kind: TwoChoices, Radius: core.RadiusUnbounded}
+	a, err := RunTrial(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTrial(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same trial differs: %+v vs %+v", a, b)
+	}
+	c, err := RunTrial(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatalf("different trials identical: %+v", a)
+	}
+}
+
+func TestRunWorkerCountInvariance(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Strategy = StrategySpec{Kind: TwoChoices, Radius: 5}
+	a1, err := Run(cfg, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a8, err := Run(cfg, 20, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a1.MaxLoad.Mean()-a8.MaxLoad.Mean()) > 1e-12 ||
+		math.Abs(a1.MeanCost.Mean()-a8.MeanCost.Mean()) > 1e-12 {
+		t.Fatalf("worker count changed results: %v vs %v", a1, a8)
+	}
+	if a1.Trials != 20 || a8.Trials != 20 {
+		t.Fatalf("trial counts wrong: %d %d", a1.Trials, a8.Trials)
+	}
+}
+
+func TestResultInvariants(t *testing.T) {
+	prop := func(seed uint64, stratRaw, missRaw uint8, radiusRaw uint8) bool {
+		cfg := baseConfig()
+		cfg.Seed = seed
+		cfg.Strategy = StrategySpec{
+			Kind:   StrategyKind(int(stratRaw) % 4),
+			Radius: int(radiusRaw)%10 + 1,
+		}
+		cfg.MissPolicy = MissPolicy(int(missRaw) % 3)
+		r, err := RunTrial(cfg, 0)
+		if err != nil {
+			return false
+		}
+		n := cfg.N()
+		// n requests over n servers: max load within [ceil(1), n].
+		if r.MaxLoad < 1 || r.MaxLoad > n {
+			return false
+		}
+		if r.MeanCost < 0 || r.MeanCost > float64(2*cfg.Side) {
+			return false
+		}
+		if r.Requests != n || r.Escalated < 0 || r.Escalated > n ||
+			r.Backhaul < 0 || r.Backhaul > n {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissResampleNeverBackhauls(t *testing.T) {
+	cfg := baseConfig()
+	cfg.K = 2000 // K >> nM: many uncached files
+	cfg.M = 1
+	cfg.MissPolicy = MissResample
+	cfg.Strategy = StrategySpec{Kind: TwoChoices, Radius: 4}
+	r, err := RunTrial(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Uncached == 0 {
+		t.Fatal("expected uncached files in this regime")
+	}
+	if r.Backhaul != 0 {
+		t.Fatalf("resample policy produced %d backhauls", r.Backhaul)
+	}
+}
+
+func TestMissEscalateBackhaulsUncached(t *testing.T) {
+	cfg := baseConfig()
+	cfg.K = 2000
+	cfg.M = 1
+	cfg.MissPolicy = MissEscalate
+	cfg.Strategy = StrategySpec{Kind: TwoChoices, Radius: 4}
+	agg, err := Run(cfg, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Backhaul.Mean() <= 0 {
+		t.Fatal("escalate policy should backhaul uncached files in this regime")
+	}
+}
+
+func TestMissOriginNeverEscalates(t *testing.T) {
+	cfg := baseConfig()
+	cfg.K = 500
+	cfg.M = 1
+	cfg.MissPolicy = MissOrigin
+	cfg.Strategy = StrategySpec{Kind: TwoChoices, Radius: 2}
+	r, err := RunTrial(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Escalated != 0 {
+		t.Fatalf("origin policy escalated %d times", r.Escalated)
+	}
+	if r.Backhaul == 0 {
+		t.Fatal("origin policy should have served some misses at the origin")
+	}
+}
+
+func TestTwoChoicesBeatsOneChoice(t *testing.T) {
+	// The paper's central claim in miniature: with ample replication,
+	// Strategy II's max load sits well below the load-blind baseline.
+	mk := func(kind StrategyKind) Config {
+		c := Config{Side: 32, K: 64, M: 4, Seed: 7} // n=1024, ~64 replicas/file
+		c.Strategy = StrategySpec{Kind: kind, Radius: core.RadiusUnbounded}
+		return c
+	}
+	two, err := Run(mk(TwoChoices), 15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := Run(mk(OneChoiceRandom), 15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(two.MaxLoad.Mean() < one.MaxLoad.Mean()-0.5) {
+		t.Fatalf("two-choices %.2f not clearly below one-choice %.2f",
+			two.MaxLoad.Mean(), one.MaxLoad.Mean())
+	}
+	// And the oracle lower-bounds Strategy II.
+	orc, err := Run(mk(Oracle), 15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orc.MaxLoad.Mean() > two.MaxLoad.Mean()+0.25 {
+		t.Fatalf("oracle %.2f above two-choices %.2f", orc.MaxLoad.Mean(), two.MaxLoad.Mean())
+	}
+}
+
+func TestNearestCostBelowTwoChoiceCost(t *testing.T) {
+	// Strategy I is the communication-cost optimum: its mean cost must
+	// lower-bound Strategy II's with r = ∞ on the same worlds.
+	near := baseConfig()
+	near.Strategy = StrategySpec{Kind: Nearest}
+	twoc := baseConfig()
+	twoc.Strategy = StrategySpec{Kind: TwoChoices, Radius: core.RadiusUnbounded}
+	an, err := Run(near, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, err := Run(twoc, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.MeanCost.Mean() >= at.MeanCost.Mean() {
+		t.Fatalf("nearest cost %.2f not below two-choice(∞) cost %.2f",
+			an.MeanCost.Mean(), at.MeanCost.Mean())
+	}
+}
+
+func TestRadiusControlsCost(t *testing.T) {
+	// Communication cost must grow with the proximity radius r (Θ(r)) in
+	// the regime where B_r(u) reliably contains replicas. (With sparse
+	// replication small radii *raise* cost via escalation — covered by
+	// TestEscalationDominatesSparseRadii below.)
+	costs := make([]float64, 0, 3)
+	for _, r := range []int{3, 8, 16} {
+		cfg := Config{Side: 45, K: 100, M: 20, Seed: 9} // ~20% replica density
+		cfg.Strategy = StrategySpec{Kind: TwoChoices, Radius: r}
+		a, err := Run(cfg, 8, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Escalated.Mean() > 0.05 {
+			t.Fatalf("r=%d: escalation fraction %.3f too high for this test", r, a.Escalated.Mean())
+		}
+		costs = append(costs, a.MeanCost.Mean())
+	}
+	if !(costs[0] < costs[1] && costs[1] < costs[2]) {
+		t.Fatalf("cost not increasing in radius: %v", costs)
+	}
+}
+
+func TestEscalationDominatesSparseRadii(t *testing.T) {
+	// With sparse replication, a tiny radius forces frequent escalation
+	// to r = ∞, so cost *exceeds* a moderate radius — the trade-off edge
+	// the Fig. 5 harness must navigate.
+	mk := func(r int) Config {
+		cfg := Config{Side: 45, K: 100, M: 4, Seed: 9}
+		cfg.Strategy = StrategySpec{Kind: TwoChoices, Radius: r}
+		return cfg
+	}
+	tiny, err := Run(mk(2), 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := Run(mk(8), 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiny.Escalated.Mean() < 0.2 {
+		t.Fatalf("expected heavy escalation at r=2, got %.3f", tiny.Escalated.Mean())
+	}
+	if tiny.MeanCost.Mean() <= mid.MeanCost.Mean() {
+		t.Fatalf("escalation should make r=2 cost %.2f exceed r=8 cost %.2f",
+			tiny.MeanCost.Mean(), mid.MeanCost.Mean())
+	}
+}
+
+func TestRequestsOverride(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Requests = 17
+	r, err := RunTrial(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Requests != 17 {
+		t.Fatalf("requests = %d, want 17", r.Requests)
+	}
+}
+
+func TestBoundedGridRuns(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Topology = grid.Bounded
+	cfg.Strategy = StrategySpec{Kind: TwoChoices, Radius: 3}
+	if _, err := Run(cfg, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfPopularityRuns(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Popularity = PopSpec{Kind: PopZipf, Gamma: 1.2}
+	a, err := Run(cfg, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zipf skew lowers nearest-replica cost versus uniform (Theorem 3).
+	cfgU := baseConfig()
+	b, err := Run(cfgU, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanCost.Mean() >= b.MeanCost.Mean() {
+		t.Fatalf("zipf cost %.3f not below uniform cost %.3f", a.MeanCost.Mean(), b.MeanCost.Mean())
+	}
+}
+
+func TestAggregateString(t *testing.T) {
+	var a Aggregate
+	a.Add(Result{MaxLoad: 3, MeanCost: 1.5, Requests: 10})
+	if a.String() == "" || a.Trials != 1 {
+		t.Fatal("aggregate bookkeeping broken")
+	}
+}
+
+func TestRunSeries(t *testing.T) {
+	cfgs := []Config{baseConfig(), baseConfig()}
+	cfgs[1].M = 4
+	aggs, err := RunSeries(cfgs, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != 2 || aggs[0].Trials != 4 || aggs[1].Trials != 4 {
+		t.Fatalf("series shape wrong: %+v", aggs)
+	}
+	// Larger caches reduce nearest-replica cost.
+	if aggs[1].MeanCost.Mean() >= aggs[0].MeanCost.Mean() {
+		t.Fatalf("M=4 cost %.3f not below M=2 cost %.3f",
+			aggs[1].MeanCost.Mean(), aggs[0].MeanCost.Mean())
+	}
+	cfgs[0].Side = 0
+	if _, err := RunSeries(cfgs, 1, 1); err == nil {
+		t.Fatal("series accepted invalid config")
+	}
+}
+
+func BenchmarkTrialNearestN2025(b *testing.B) {
+	cfg := Config{Side: 45, K: 100, M: 10, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunTrial(cfg, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrialTwoChoiceN2025(b *testing.B) {
+	cfg := Config{Side: 45, K: 500, M: 10, Seed: 1}
+	cfg.Strategy = StrategySpec{Kind: TwoChoices, Radius: 8}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunTrial(cfg, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

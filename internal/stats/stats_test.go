@@ -1,0 +1,249 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func almost(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %v, want %v ± %v", what, got, want, tol)
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	almost(t, s.Mean(), 5, 1e-12, "mean")
+	almost(t, s.Std(), math.Sqrt(32.0/7), 1e-12, "std")
+	if s.Min() != 2 || s.Max() != 9 || s.N() != 8 {
+		t.Fatalf("min/max/n wrong: %v %v %v", s.Min(), s.Max(), s.N())
+	}
+	if s.SE() <= 0 || s.CI95() != 1.96*s.SE() {
+		t.Fatalf("SE/CI wrong: %v %v", s.SE(), s.CI95())
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.SE() != 0 || s.N() != 0 {
+		t.Fatal("empty summary should be all zeros")
+	}
+}
+
+func TestSummarySingle(t *testing.T) {
+	var s Summary
+	s.Add(3)
+	if s.Var() != 0 || s.Mean() != 3 || s.Min() != 3 || s.Max() != 3 {
+		t.Fatalf("single-point summary wrong: %+v", s)
+	}
+}
+
+func TestSummaryMergeMatchesSequential(t *testing.T) {
+	prop := func(seed uint64, split uint8) bool {
+		r := xrand.NewSource(seed).Stream(0)
+		n := 60
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()*5 + 10
+		}
+		cut := int(split) % n
+		var whole, a, b Summary
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		for _, x := range xs[:cut] {
+			a.Add(x)
+		}
+		for _, x := range xs[cut:] {
+			b.Add(x)
+		}
+		a.Merge(b)
+		return math.Abs(a.Mean()-whole.Mean()) < 1e-9 &&
+			math.Abs(a.Var()-whole.Var()) < 1e-9 &&
+			a.Min() == whole.Min() && a.Max() == whole.Max() && a.N() == whole.N()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryMergeEmptyCases(t *testing.T) {
+	var a, b Summary
+	b.Add(5)
+	a.Merge(b) // empty <- nonempty
+	if a.Mean() != 5 || a.N() != 1 {
+		t.Fatalf("merge into empty failed: %+v", a)
+	}
+	var c Summary
+	a.Merge(c) // nonempty <- empty
+	if a.Mean() != 5 || a.N() != 1 {
+		t.Fatalf("merge of empty changed summary: %+v", a)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	data := []float64{9, 1, 8, 2, 7, 3, 6, 4, 5, 10}
+	if q := Quantile(data, 0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := Quantile(data, 1); q != 10 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := Quantile(data, 0.5); q != 5 {
+		t.Fatalf("median = %v", q)
+	}
+	if q := Quantile(data, 0.9); q != 9 {
+		t.Fatalf("p90 = %v", q)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+	// Input must not be reordered.
+	if data[0] != 9 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 3 + 2x
+	a, b, r2 := LinearFit(xs, ys)
+	almost(t, a, 3, 1e-12, "intercept")
+	almost(t, b, 2, 1e-12, "slope")
+	almost(t, r2, 1, 1e-12, "r2")
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	a, b, r2 := LinearFit([]float64{2, 2, 2}, []float64{1, 5, 9})
+	if b != 0 || a != 5 || r2 != 0 {
+		t.Fatalf("constant-x fit: a=%v b=%v r2=%v", a, b, r2)
+	}
+	a, b, r2 = LinearFit([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if b != 0 || a != 4 || r2 != 1 {
+		t.Fatalf("constant-y fit: a=%v b=%v r2=%v", a, b, r2)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched fit did not panic")
+		}
+	}()
+	LinearFit([]float64{1}, []float64{1, 2})
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	r := xrand.NewSource(5).Stream(0)
+	xs := make([]float64, 500)
+	ys := make([]float64, 500)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 1.5*xs[i] - 7 + r.NormFloat64()*3
+	}
+	a, b, r2 := LinearFit(xs, ys)
+	almost(t, b, 1.5, 0.05, "noisy slope")
+	almost(t, a, -7, 5, "noisy intercept")
+	if r2 < 0.99 {
+		t.Fatalf("r2 = %v too low", r2)
+	}
+}
+
+func TestFitAgainstLogShape(t *testing.T) {
+	// y = 2·log(x) + 1 exactly.
+	xs := []float64{10, 100, 1000, 10000}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2*math.Log(x) + 1
+	}
+	a, b, r2 := FitAgainst(xs, ys, Log)
+	almost(t, a, 1, 1e-9, "log fit intercept")
+	almost(t, b, 2, 1e-9, "log fit slope")
+	almost(t, r2, 1, 1e-9, "log fit r2")
+}
+
+func TestLogLogClamp(t *testing.T) {
+	if v := LogLog(1.01); math.IsNaN(v) || math.IsInf(v, 0) || v != 0 {
+		t.Fatalf("LogLog near 1 = %v, want clamped 0", v)
+	}
+	almost(t, LogLog(math.E*math.E), math.Ln2, 1e-12, "loglog(e^2)")
+}
+
+func TestGrowthExponent(t *testing.T) {
+	// y = 3·x^0.75
+	xs := []float64{10, 100, 1000, 10000}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, 0.75)
+	}
+	almost(t, GrowthExponent(xs, ys), 0.75, 1e-9, "exponent")
+	if !math.IsNaN(GrowthExponent([]float64{1}, []float64{2})) {
+		t.Fatal("single point should give NaN")
+	}
+	// Non-positive points are skipped, not fatal.
+	almost(t, GrowthExponent([]float64{0, 10, 100, 1000}, []float64{5, 30, 300, 3000}), 1, 1e-9, "skip zeros")
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(5)
+	for _, v := range []int{0, 1, 1, 3, 5, 9, -2} {
+		h.Observe(v)
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total %d", h.Total())
+	}
+	if h.Count(1) != 2 || h.Count(0) != 2 /* -2 clamped */ || h.Count(5) != 2 /* 9 clamped */ {
+		t.Fatalf("counts wrong: %d %d %d", h.Count(1), h.Count(0), h.Count(5))
+	}
+	if h.Count(-1) != 0 || h.Count(100) != 0 {
+		t.Fatal("out-of-range Count should be 0")
+	}
+	wantMean := float64(0+0+1+1+3+5+5) / 7
+	almost(t, h.Mean(), wantMean, 1e-12, "histogram mean")
+	almost(t, h.Tail(3), 3.0/7, 1e-12, "tail(3)")
+	almost(t, h.Tail(0), 1, 1e-12, "tail(0)")
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(3), NewHistogram(3)
+	a.Observe(1)
+	b.Observe(2)
+	b.Observe(3)
+	a.Merge(b)
+	if a.Total() != 3 || a.Count(2) != 1 || a.Count(3) != 1 {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+}
+
+func TestHistogramMergePanicsOnSizeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size-mismatched merge did not panic")
+		}
+	}()
+	NewHistogram(3).Merge(NewHistogram(4))
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(4)
+	if h.Mean() != 0 || h.Tail(0) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func BenchmarkSummaryAdd(b *testing.B) {
+	var s Summary
+	for i := 0; i < b.N; i++ {
+		s.Add(float64(i % 97))
+	}
+}

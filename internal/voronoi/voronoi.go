@@ -1,0 +1,149 @@
+// Package voronoi computes, for each file W_j, the Voronoi tessellation V_j
+// that Strategy I induces on the torus: every node belongs to the cell of
+// its nearest replica of W_j (§III). Cells are computed by multi-source BFS
+// seeded at the replica set S_j, which costs O(n) per file and yields both
+// nearest distances and cell sizes. Lemma 1's bound — max cell size
+// O(K log n / M) — is validated against these exact tessellations.
+package voronoi
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/cache"
+	"repro/internal/grid"
+)
+
+// Tessellation is the Voronoi diagram of one file's replica set.
+type Tessellation struct {
+	// Owner[u] is the replica node serving u (-1 if the file has no
+	// replicas anywhere).
+	Owner []int32
+	// Dist[u] is the hop distance from u to Owner[u] (-1 if unserved).
+	Dist []int32
+	// CellSize maps each replica node to the number of nodes it owns.
+	CellSize map[int32]int
+}
+
+// Compute builds the tessellation of file j under placement p on g. Ties
+// (equidistant replicas) are broken uniformly at random with r, matching
+// Strategy I's tie rule; pass a deterministic stream for reproducibility.
+func Compute(g *grid.Grid, p *cache.Placement, j int, r *rand.Rand) *Tessellation {
+	n := g.N()
+	t := &Tessellation{
+		Owner:    make([]int32, n),
+		Dist:     make([]int32, n),
+		CellSize: make(map[int32]int),
+	}
+	for i := range t.Owner {
+		t.Owner[i] = -1
+		t.Dist[i] = -1
+	}
+	seeds := p.Replicas(j)
+	if len(seeds) == 0 {
+		return t
+	}
+	// Multi-source BFS. To realize *uniform* tie breaking among
+	// equidistant sources, process each frontier level in random order
+	// and, when a node is reached at the same level by several owners,
+	// replace the owner with probability 1/(ties so far + 1)
+	// (reservoir sampling over claimants).
+	type claim struct {
+		node  int32
+		owner int32
+	}
+	cur := make([]claim, 0, len(seeds))
+	ties := make(map[int32]int, 16) // node -> claims seen this level
+	for _, s := range seeds {
+		cur = append(cur, claim{node: s, owner: s})
+	}
+	depth := int32(0)
+	var next []claim
+	nb := make([]int32, 0, 4)
+	for len(cur) > 0 {
+		// Assign current level.
+		clear(ties)
+		for _, c := range cur {
+			switch {
+			case t.Dist[c.node] == -1:
+				t.Dist[c.node] = depth
+				t.Owner[c.node] = c.owner
+				ties[c.node] = 1
+			case t.Dist[c.node] == depth:
+				// Same-level competing claim: reservoir replace.
+				ties[c.node]++
+				if r.IntN(ties[c.node]) == 0 {
+					t.Owner[c.node] = c.owner
+				}
+			}
+		}
+		// Expand.
+		next = next[:0]
+		for _, c := range cur {
+			if t.Dist[c.node] != depth || t.Owner[c.node] != c.owner {
+				continue // lost the claim; don't propagate this owner
+			}
+			nb = g.Neighbors(int(c.node), nb[:0])
+			for _, v := range nb {
+				if t.Dist[v] == -1 || t.Dist[v] == depth+1 {
+					next = append(next, claim{node: v, owner: c.owner})
+				}
+			}
+		}
+		cur, next = next, cur
+		depth++
+	}
+	for u := 0; u < n; u++ {
+		if t.Owner[u] >= 0 {
+			t.CellSize[t.Owner[u]]++
+		}
+	}
+	return t
+}
+
+// MaxCell returns the largest cell size (0 when the file is uncached).
+func (t *Tessellation) MaxCell() int {
+	m := 0
+	for _, s := range t.CellSize {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// Stats aggregates tessellation shape over all cached files of a placement.
+type Stats struct {
+	MaxCell      int     // max over files of max cell size
+	MeanMaxCell  float64 // mean over files of max cell size
+	MeanDist     float64 // average nearest-replica distance over (node, file)
+	FilesChecked int
+}
+
+// Analyze computes tessellations for every cached file and aggregates
+// Lemma 1's quantities. Cost is O(nK); intended for n, K ≤ a few thousand.
+func Analyze(g *grid.Grid, p *cache.Placement, r *rand.Rand) Stats {
+	var st Stats
+	var sumMax, sumDist, distCount float64
+	for _, j := range p.CachedFiles() {
+		t := Compute(g, p, int(j), r)
+		mc := t.MaxCell()
+		if mc > st.MaxCell {
+			st.MaxCell = mc
+		}
+		sumMax += float64(mc)
+		for _, d := range t.Dist {
+			if d >= 0 {
+				sumDist += float64(d)
+				distCount++
+			}
+		}
+		st.FilesChecked++
+	}
+	if st.FilesChecked > 0 {
+		st.MeanMaxCell = sumMax / float64(st.FilesChecked)
+	}
+	if distCount > 0 {
+		st.MeanDist = sumDist / distCount
+	}
+	return st
+}

@@ -1,0 +1,215 @@
+package voronoi
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/dist"
+	"repro/internal/grid"
+	"repro/internal/xrand"
+)
+
+// placeAll returns a placement on n nodes where the membership is driven
+// by the given explicit node->files table (for hand-built scenarios we
+// just use real random placement; the exact cases below use M=K so every
+// node is a replica, or tiny libraries).
+func randomPlacement(n, k, m int, seed uint64) *cache.Placement {
+	return cache.Place(n, m, dist.NewUniform(k), cache.WithReplacement, xrand.NewSource(seed).Stream(0))
+}
+
+func TestComputeMatchesBruteForce(t *testing.T) {
+	g := grid.New(7, grid.Torus)
+	p := randomPlacement(g.N(), 6, 2, 1)
+	r := xrand.NewSource(2).Stream(0)
+	for j := 0; j < p.K(); j++ {
+		tess := Compute(g, p, j, r)
+		reps := p.Replicas(j)
+		for u := 0; u < g.N(); u++ {
+			if len(reps) == 0 {
+				if tess.Owner[u] != -1 || tess.Dist[u] != -1 {
+					t.Fatalf("file %d uncached but node %d assigned", j, u)
+				}
+				continue
+			}
+			want := math.MaxInt
+			for _, s := range reps {
+				if d := g.Dist(u, int(s)); d < want {
+					want = d
+				}
+			}
+			if int(tess.Dist[u]) != want {
+				t.Fatalf("file %d node %d: BFS dist %d, brute %d", j, u, tess.Dist[u], want)
+			}
+			// Owner must be a replica at exactly that distance.
+			if !p.Has(int(tess.Owner[u]), j) {
+				t.Fatalf("owner %d does not cache file %d", tess.Owner[u], j)
+			}
+			if g.Dist(u, int(tess.Owner[u])) != want {
+				t.Fatalf("owner %d at distance %d, want %d", tess.Owner[u], g.Dist(u, int(tess.Owner[u])), want)
+			}
+		}
+	}
+}
+
+func TestCellSizesPartitionTorus(t *testing.T) {
+	g := grid.New(9, grid.Torus)
+	p := randomPlacement(g.N(), 4, 1, 3)
+	r := xrand.NewSource(4).Stream(0)
+	for j := 0; j < p.K(); j++ {
+		tess := Compute(g, p, j, r)
+		if len(p.Replicas(j)) == 0 {
+			continue
+		}
+		total := 0
+		for owner, sz := range tess.CellSize {
+			if !p.Has(int(owner), j) {
+				t.Fatalf("cell owner %d is not a replica of %d", owner, j)
+			}
+			total += sz
+		}
+		if total != g.N() {
+			t.Fatalf("file %d: cells cover %d of %d nodes", j, total, g.N())
+		}
+		if tess.MaxCell() <= 0 || tess.MaxCell() > g.N() {
+			t.Fatalf("file %d: absurd max cell %d", j, tess.MaxCell())
+		}
+	}
+}
+
+func TestSingleReplicaOwnsEverything(t *testing.T) {
+	// With K=1, M=1 every node caches file 0... use n=1 instead: place a
+	// single-node network. Simpler: craft K files but check a file with
+	// exactly one replica.
+	g := grid.New(8, grid.Torus)
+	// Try seeds until some file has exactly one replica.
+	for seed := uint64(0); seed < 50; seed++ {
+		p := randomPlacement(g.N(), 200, 1, seed)
+		for j := 0; j < p.K(); j++ {
+			if len(p.Replicas(j)) == 1 {
+				tess := Compute(g, p, j, xrand.NewSource(9).Stream(0))
+				if tess.MaxCell() != g.N() {
+					t.Fatalf("single replica owns %d nodes, want %d", tess.MaxCell(), g.N())
+				}
+				return
+			}
+		}
+	}
+	t.Skip("no singleton replica found (astronomically unlikely)")
+}
+
+func TestTieBreakIsBalancedOnSymmetricPair(t *testing.T) {
+	// Two replicas diametrically opposite on an even torus: equidistant
+	// nodes must split ~50/50 between owners over repeated randomized
+	// tessellations.
+	g := grid.New(6, grid.Torus)
+	// Build placement with K=1; nodes 0 and 21 (=3*6+3, the antipode of
+	// (0,0)) both cache file 0. Craft via custom popularity over 1 file:
+	// M=1 ⇒ every node caches file 0; instead use direct construction.
+	// Simplest: use K=1, M=1 so all nodes replicate; tie-break check then
+	// degenerates. So construct the two-replica world by brute force:
+	// place with K large until exactly-two-replica file found.
+	for seed := uint64(0); seed < 200; seed++ {
+		p := randomPlacement(g.N(), 120, 1, seed)
+		for j := 0; j < p.K(); j++ {
+			reps := p.Replicas(j)
+			if len(reps) != 2 {
+				continue
+			}
+			a, b := int(reps[0]), int(reps[1])
+			// Count equidistant nodes.
+			eq := 0
+			for u := 0; u < g.N(); u++ {
+				if g.Dist(u, a) == g.Dist(u, b) {
+					eq++
+				}
+			}
+			if eq == 0 {
+				continue
+			}
+			r := xrand.NewSource(31).Stream(0)
+			aWins := 0
+			const trials = 400
+			for i := 0; i < trials; i++ {
+				tess := Compute(g, p, j, r)
+				for u := 0; u < g.N(); u++ {
+					if g.Dist(u, a) == g.Dist(u, b) && int(tess.Owner[u]) == a {
+						aWins++
+					}
+				}
+			}
+			frac := float64(aWins) / float64(trials*eq)
+			if math.Abs(frac-0.5) > 0.08 {
+				t.Fatalf("equidistant nodes go to first replica %.3f of the time, want ~0.5", frac)
+			}
+			return
+		}
+	}
+	t.Skip("no two-replica file found")
+}
+
+func TestAnalyzeAggregates(t *testing.T) {
+	g := grid.New(10, grid.Torus)
+	p := randomPlacement(g.N(), 20, 2, 5)
+	st := Analyze(g, p, xrand.NewSource(6).Stream(0))
+	if st.FilesChecked != len(p.CachedFiles()) {
+		t.Fatalf("checked %d files, want %d", st.FilesChecked, len(p.CachedFiles()))
+	}
+	if st.MaxCell < int(math.Ceil(float64(g.N())/float64(maxReplicas(p)))) {
+		t.Fatalf("max cell %d below pigeonhole bound", st.MaxCell)
+	}
+	if st.MeanMaxCell <= 0 || st.MeanMaxCell > float64(g.N()) {
+		t.Fatalf("mean max cell %v out of range", st.MeanMaxCell)
+	}
+	if st.MeanDist < 0 || st.MeanDist > float64(g.Diameter()) {
+		t.Fatalf("mean dist %v out of range", st.MeanDist)
+	}
+}
+
+func maxReplicas(p *cache.Placement) int {
+	m := 1
+	for j := 0; j < p.K(); j++ {
+		if r := len(p.Replicas(j)); r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+func TestLemma1Scaling(t *testing.T) {
+	// Lemma 1: max cell size = O(K log n / M) under uniform popularity.
+	// Measure the ratio maxCell / (K ln n / M) across scales; it should
+	// stay bounded (we assert < 4, generous for the constant).
+	if testing.Short() {
+		t.Skip("scaling study skipped in -short")
+	}
+	src := xrand.NewSource(77)
+	for _, tc := range []struct{ l, k, m int }{
+		{20, 50, 1}, {30, 50, 1}, {45, 50, 1}, {45, 200, 4}, {45, 500, 10},
+	} {
+		g := grid.New(tc.l, grid.Torus)
+		bound := float64(tc.k) * math.Log(float64(g.N())) / float64(tc.m)
+		worst := 0.0
+		const trials = 5
+		for i := 0; i < trials; i++ {
+			p := cache.Place(g.N(), tc.m, dist.NewUniform(tc.k), cache.WithReplacement, src.Stream(uint64(i)))
+			st := Analyze(g, p, src.Stream(uint64(1000+i)))
+			if r := float64(st.MaxCell) / bound; r > worst {
+				worst = r
+			}
+		}
+		if worst > 4 {
+			t.Errorf("L=%d K=%d M=%d: maxCell/(K ln n/M) = %.2f, want O(1) < 4", tc.l, tc.k, tc.m, worst)
+		}
+	}
+}
+
+func BenchmarkCompute45(b *testing.B) {
+	g := grid.New(45, grid.Torus)
+	p := randomPlacement(g.N(), 100, 1, 1)
+	r := xrand.NewSource(0).Stream(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Compute(g, p, i%p.K(), r)
+	}
+}

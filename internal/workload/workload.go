@@ -1,0 +1,261 @@
+// Package workload generalizes the paper's request process. The paper
+// assumes the independent reference model (IRM): every request draws its
+// file i.i.d. from a static popularity profile. Real catalogs drift (§VI
+// defers "dynamic library popularity profiles" to DHT-based adaptation),
+// so this package adds:
+//
+//   - IRM — the paper's stream, for baseline parity;
+//   - ShotNoise — files become active in Poisson-arriving "shots" whose
+//     request intensity decays over a finite lifespan (the standard
+//     model for video-catalog churn), so the instantaneous popularity
+//     drifts away from any placement computed at time zero;
+//   - Window — a sliding-window empirical popularity estimator that a
+//     re-placement policy can consume to chase the drift.
+//
+// Streams are deterministic given their RNG, and expose the *ground
+// truth* instantaneous profile so experiments can separate estimation
+// error from adaptation lag.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/dist"
+)
+
+// Stream produces a sequence of file requests.
+type Stream interface {
+	// Next returns the requested file for step t (t increases by 1 per
+	// call; implementations may use it as a clock).
+	Next(r *rand.Rand) int
+	// K returns the library size.
+	K() int
+	// Name identifies the stream in experiment output.
+	Name() string
+}
+
+// IRM is the paper's independent reference model: i.i.d. draws from a
+// fixed profile.
+type IRM struct {
+	Pop dist.Popularity
+}
+
+// Next implements Stream.
+func (s IRM) Next(r *rand.Rand) int { return s.Pop.Sample(r) }
+
+// K implements Stream.
+func (s IRM) K() int { return s.Pop.K() }
+
+// Name implements Stream.
+func (s IRM) Name() string { return "irm(" + s.Pop.Name() + ")" }
+
+// ShotNoise models catalog churn: at every step each of the k files is
+// either dormant (baseline weight) or active (boosted weight); files
+// activate independently with probability birthRate per step and stay
+// active for a geometric lifetime with mean lifespan steps. The active
+// set therefore turns over continuously, dragging the instantaneous
+// popularity away from the long-run average.
+type ShotNoise struct {
+	k         int
+	boost     float64 // weight multiplier while active
+	birthRate float64 // per-file activation probability per step
+	deathRate float64 // per-file deactivation probability per step
+	active    []bool
+	weights   []float64
+	dirty     bool
+	sampler   *dist.Alias
+}
+
+// NewShotNoise builds a shot-noise stream over k files. boost ≥ 1 is the
+// activity multiplier; expected concurrent actives ≈ k·birth/(birth+death).
+func NewShotNoise(k int, boost, birthRate float64, lifespan float64) *ShotNoise {
+	if k <= 0 {
+		panic(fmt.Sprintf("workload: need k > 0, got %d", k))
+	}
+	if boost < 1 || birthRate <= 0 || birthRate >= 1 || lifespan < 1 {
+		panic(fmt.Sprintf("workload: invalid shot-noise params boost=%v birth=%v lifespan=%v",
+			boost, birthRate, lifespan))
+	}
+	s := &ShotNoise{
+		k:         k,
+		boost:     boost,
+		birthRate: birthRate,
+		deathRate: 1 / lifespan,
+		active:    make([]bool, k),
+		weights:   make([]float64, k),
+	}
+	for i := range s.weights {
+		s.weights[i] = 1
+	}
+	s.rebuild()
+	return s
+}
+
+func (s *ShotNoise) rebuild() {
+	probs := make([]float64, s.k)
+	sum := 0.0
+	for _, w := range s.weights {
+		sum += w
+	}
+	for i, w := range s.weights {
+		probs[i] = w / sum
+	}
+	s.sampler = dist.NewAlias(probs)
+	s.dirty = false
+}
+
+// step evolves the active set by one tick.
+func (s *ShotNoise) step(r *rand.Rand) {
+	// Evolving every file every tick is O(k); instead exploit that
+	// births and deaths are rare: draw binomial counts via expected
+	// thinning. For simplicity and exactness we flip a coin per file
+	// only with the aggregate probability trick: sample the number of
+	// transitions from the exact binomial via repeated geometric skips.
+	flip := func(p float64, match func(i int) bool, set func(i int)) {
+		if p <= 0 {
+			return
+		}
+		// Geometric skipping over the k files.
+		i := 0
+		for {
+			skip := geometricSkip(r, p)
+			i += skip
+			if i >= s.k {
+				return
+			}
+			if match(i) {
+				set(i)
+				s.dirty = true
+			}
+			i++
+		}
+	}
+	flip(s.birthRate, func(i int) bool { return !s.active[i] }, func(i int) {
+		s.active[i] = true
+		s.weights[i] = s.boost
+	})
+	flip(s.deathRate, func(i int) bool { return s.active[i] }, func(i int) {
+		s.active[i] = false
+		s.weights[i] = 1
+	})
+}
+
+// geometricSkip returns the number of failures before the next success of
+// a Bernoulli(p) sequence, via inverse-transform sampling.
+func geometricSkip(r *rand.Rand, p float64) int {
+	q := 1 - p
+	if q <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	if u <= 0 {
+		return 0
+	}
+	skip := int(math.Log(u) / math.Log(q))
+	if skip < 0 {
+		return 0
+	}
+	return skip
+}
+
+// Next implements Stream.
+func (s *ShotNoise) Next(r *rand.Rand) int {
+	s.step(r)
+	if s.dirty {
+		s.rebuild()
+	}
+	return s.sampler.Sample(r)
+}
+
+// K implements Stream.
+func (s *ShotNoise) K() int { return s.k }
+
+// Name implements Stream.
+func (s *ShotNoise) Name() string { return fmt.Sprintf("shotnoise(boost=%.0f)", s.boost) }
+
+// ActiveCount returns the current number of active files.
+func (s *ShotNoise) ActiveCount() int {
+	c := 0
+	for _, a := range s.active {
+		if a {
+			c++
+		}
+	}
+	return c
+}
+
+// Truth returns the instantaneous ground-truth popularity.
+func (s *ShotNoise) Truth() dist.Popularity {
+	return dist.NewCustom(append([]float64(nil), s.weights...), "shotnoise-truth")
+}
+
+// Window is a sliding-window popularity estimator: it counts the last
+// size requests per file and exposes the empirical distribution with
+// +1 smoothing (so newly risen files are never assigned zero placement
+// mass).
+type Window struct {
+	k      int
+	size   int
+	buf    []int32
+	counts []int
+	pos    int
+	filled bool
+}
+
+// NewWindow returns an estimator over k files with the given window size.
+func NewWindow(k, size int) *Window {
+	if k <= 0 || size <= 0 {
+		panic(fmt.Sprintf("workload: need k > 0 and size > 0, got %d, %d", k, size))
+	}
+	return &Window{k: k, size: size, buf: make([]int32, size), counts: make([]int, k)}
+}
+
+// Observe records one request.
+func (w *Window) Observe(file int) {
+	if w.filled {
+		w.counts[w.buf[w.pos]]--
+	}
+	w.buf[w.pos] = int32(file)
+	w.counts[file]++
+	w.pos++
+	if w.pos == w.size {
+		w.pos = 0
+		w.filled = true
+	}
+}
+
+// Len returns the number of requests currently in the window.
+func (w *Window) Len() int {
+	if w.filled {
+		return w.size
+	}
+	return w.pos
+}
+
+// Estimate returns the smoothed empirical popularity.
+func (w *Window) Estimate() dist.Popularity {
+	weights := make([]float64, w.k)
+	for i, c := range w.counts {
+		weights[i] = float64(c) + 1
+	}
+	return dist.NewCustom(weights, "window-estimate")
+}
+
+// TotalVariation computes the TV distance between two profiles over the
+// same library — the adaptation-lag metric used by the drift experiment.
+func TotalVariation(a, b dist.Popularity) float64 {
+	if a.K() != b.K() {
+		panic("workload: profile size mismatch")
+	}
+	s := 0.0
+	for j := 0; j < a.K(); j++ {
+		d := a.P(j) - b.P(j)
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s / 2
+}

@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/xrand"
+)
+
+func TestIRMMatchesProfile(t *testing.T) {
+	pop := dist.NewZipf(20, 1.0)
+	s := IRM{Pop: pop}
+	if s.K() != 20 || s.Name() == "" {
+		t.Fatal("IRM metadata wrong")
+	}
+	r := xrand.NewSource(1).Stream(0)
+	counts := make([]int, 20)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[s.Next(r)]++
+	}
+	for j := 0; j < 20; j++ {
+		if math.Abs(float64(counts[j])/draws-pop.P(j)) > 0.01 {
+			t.Fatalf("file %d frequency off: %v vs %v", j, float64(counts[j])/draws, pop.P(j))
+		}
+	}
+}
+
+func TestShotNoiseValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"k=0":        func() { NewShotNoise(0, 10, 0.01, 100) },
+		"boost<1":    func() { NewShotNoise(10, 0.5, 0.01, 100) },
+		"birth=0":    func() { NewShotNoise(10, 10, 0, 100) },
+		"birth=1":    func() { NewShotNoise(10, 10, 1, 100) },
+		"lifespan<1": func() { NewShotNoise(10, 10, 0.01, 0.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestShotNoiseActiveSetEquilibrium(t *testing.T) {
+	// With birth rate b and death rate 1/L, the stationary active
+	// fraction is b/(b + 1/L). Drive the chain and check the mean.
+	k := 400
+	s := NewShotNoise(k, 50, 0.002, 200) // stationary ≈ 0.286
+	r := xrand.NewSource(2).Stream(0)
+	var sum, n float64
+	for i := 0; i < 20000; i++ {
+		s.Next(r)
+		if i > 5000 {
+			sum += float64(s.ActiveCount())
+			n++
+		}
+	}
+	got := sum / n / float64(k)
+	want := 0.002 / (0.002 + 1.0/200)
+	if math.Abs(got-want) > 0.08 {
+		t.Fatalf("stationary active fraction %.3f, want ≈ %.3f", got, want)
+	}
+}
+
+func TestShotNoiseBoostsActives(t *testing.T) {
+	// Requests must concentrate on the active set: with boost B the
+	// active-file hit fraction should approach B·a/(B·a + (1-a)) for
+	// active fraction a.
+	k := 200
+	s := NewShotNoise(k, 100, 0.001, 300)
+	r := xrand.NewSource(3).Stream(0)
+	hits, total := 0, 0
+	for i := 0; i < 30000; i++ {
+		f := s.Next(r)
+		if i > 5000 {
+			total++
+			if s.active[f] {
+				hits++
+			}
+		}
+	}
+	frac := float64(hits) / float64(total)
+	if frac < 0.7 {
+		t.Fatalf("active files get only %.3f of requests despite 100x boost", frac)
+	}
+}
+
+func TestShotNoiseTruthTracksWeights(t *testing.T) {
+	s := NewShotNoise(50, 10, 0.01, 100)
+	r := xrand.NewSource(4).Stream(0)
+	for i := 0; i < 500; i++ {
+		s.Next(r)
+	}
+	truth := s.Truth()
+	for j := 0; j < 50; j++ {
+		wantBoost := s.active[j]
+		isBig := truth.P(j) > 1.5/50.0/2 // boosted files carry ≫ uniform mass
+		if wantBoost != (truth.P(j) > 0.02) && wantBoost != isBig {
+			t.Fatalf("truth profile inconsistent at %d: active=%v p=%v", j, s.active[j], truth.P(j))
+		}
+	}
+	if s.Name() == "" || s.K() != 50 {
+		t.Fatal("metadata wrong")
+	}
+}
+
+func TestGeometricSkipMean(t *testing.T) {
+	r := xrand.NewSource(5).Stream(0)
+	p := 0.05
+	var sum float64
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		sum += float64(geometricSkip(r, p))
+	}
+	mean := sum / draws
+	want := (1 - p) / p // mean failures before success
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Fatalf("geometric skip mean %.2f, want %.2f", mean, want)
+	}
+	if geometricSkip(r, 1) != 0 {
+		t.Fatal("p=1 must skip 0")
+	}
+}
+
+func TestWindowValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"k=0":    func() { NewWindow(0, 5) },
+		"size=0": func() { NewWindow(5, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWindowSlides(t *testing.T) {
+	w := NewWindow(3, 4)
+	for _, f := range []int{0, 0, 1, 2} {
+		w.Observe(f)
+	}
+	if w.Len() != 4 {
+		t.Fatalf("len %d", w.Len())
+	}
+	// Window now [0,0,1,2]: counts 2,1,1 (+1 smoothing → 3,2,2 of 7).
+	e := w.Estimate()
+	if math.Abs(e.P(0)-3.0/7) > 1e-12 {
+		t.Fatalf("P(0) = %v", e.P(0))
+	}
+	// Push two more 2s: window becomes [1,2,2,2] → counts 0,1,3.
+	w.Observe(2)
+	w.Observe(2)
+	e = w.Estimate()
+	if math.Abs(e.P(0)-1.0/7) > 1e-12 || math.Abs(e.P(2)-4.0/7) > 1e-12 {
+		t.Fatalf("slide wrong: P(0)=%v P(2)=%v", e.P(0), e.P(2))
+	}
+}
+
+func TestWindowPartialFill(t *testing.T) {
+	w := NewWindow(4, 100)
+	w.Observe(3)
+	if w.Len() != 1 {
+		t.Fatalf("len %d", w.Len())
+	}
+	e := w.Estimate()
+	// counts: 0,0,0,1 (+1 each) → 1,1,1,2 of 5.
+	if math.Abs(e.P(3)-0.4) > 1e-12 {
+		t.Fatalf("P(3) = %v", e.P(3))
+	}
+}
+
+func TestWindowEstimateConvergesToTruth(t *testing.T) {
+	pop := dist.NewZipf(30, 1.1)
+	w := NewWindow(30, 20000)
+	r := xrand.NewSource(6).Stream(0)
+	for i := 0; i < 20000; i++ {
+		w.Observe(pop.Sample(r))
+	}
+	if tv := TotalVariation(pop, w.Estimate()); tv > 0.03 {
+		t.Fatalf("window estimate TV distance %.4f from truth, want < 0.03", tv)
+	}
+}
+
+func TestTotalVariation(t *testing.T) {
+	a := dist.NewCustom([]float64{1, 0}, "a")
+	b := dist.NewCustom([]float64{0, 1}, "b")
+	if tv := TotalVariation(a, b); math.Abs(tv-1) > 1e-12 {
+		t.Fatalf("disjoint TV = %v, want 1", tv)
+	}
+	if tv := TotalVariation(a, a); tv != 0 {
+		t.Fatalf("self TV = %v", tv)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch did not panic")
+		}
+	}()
+	TotalVariation(a, dist.NewUniform(3))
+}
+
+func BenchmarkShotNoiseNext(b *testing.B) {
+	s := NewShotNoise(2000, 50, 0.0005, 500)
+	r := xrand.NewSource(1).Stream(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Next(r)
+	}
+}

@@ -1,0 +1,256 @@
+// Package repro is the public facade of the cache-network load-balancing
+// library reproducing "Proximity-Aware Balanced Allocations in Cache
+// Networks" (Pourmiri, Jafari Siavoshani, Shariatpanahi; IPDPS 2017).
+//
+// The library simulates a torus of n caching servers, each holding M of K
+// files placed proportionally to popularity, and measures two request
+// assignment strategies:
+//
+//   - Strategy I (nearest replica): minimum communication cost,
+//     maximum load Θ(log n);
+//   - Strategy II (proximity-aware two choices): maximum load
+//     Θ(log log n) at communication cost Θ(r) whenever
+//     α + 2β ≥ 1 + 2·log log n / log n for M = n^α, r = n^β (Theorem 4).
+//
+// Quick start:
+//
+//	cfg := repro.Config{Side: 45, K: 500, M: 10,
+//	    Strategy: repro.StrategySpec{Kind: repro.TwoChoices, Radius: 8}}
+//	agg, err := repro.Run(cfg, 100, 0)
+//	fmt.Println(agg) // max load and communication cost with 95% CIs
+//
+// The full experiment suite reproducing every figure and table of the
+// paper lives behind repro.Experiment:
+//
+//	table, err := repro.Experiment("fig5", repro.ExpOptions{})
+//	table.WriteCSV(os.Stdout)
+//
+// Lower-level building blocks (topology, placement, Voronoi tessellation,
+// configuration graph, classic balls-into-bins processes, the supermarket
+// queueing model) are exposed through type aliases below so downstream
+// code can compose them directly.
+package repro
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/ballsbins"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/experiments"
+	"repro/internal/grid"
+	"repro/internal/queueing"
+	"repro/internal/replication"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Topology and lattice types.
+type (
+	// Grid is the √n×√n lattice the cache network lives on.
+	Grid = grid.Grid
+	// Topology selects torus (paper default) or bounded grid.
+	Topology = grid.Topology
+)
+
+// Topology constants.
+const (
+	// Torus wraps both dimensions (no boundary effects, Remark 1).
+	Torus = grid.Torus
+	// Bounded is the plain grid with boundary.
+	Bounded = grid.Bounded
+)
+
+// NewGrid returns an L×L lattice. See grid.New.
+func NewGrid(side int, topo Topology) *Grid { return grid.New(side, topo) }
+
+// Popularity profiles.
+type (
+	// Popularity is a probability distribution over the file library.
+	Popularity = dist.Popularity
+	// Uniform is the equal-popularity profile.
+	Uniform = dist.Uniform
+	// Zipf is the rank-skewed profile p_i ∝ 1/i^γ.
+	Zipf = dist.Zipf
+)
+
+// NewUniform returns the Uniform profile over k files.
+func NewUniform(k int) Uniform { return dist.NewUniform(k) }
+
+// NewZipf returns the Zipf(γ) profile over k files.
+func NewZipf(k int, gamma float64) *Zipf { return dist.NewZipf(k, gamma) }
+
+// Cache placement.
+type (
+	// Placement is an immutable cache assignment (node → files plus the
+	// inverted replica index).
+	Placement = cache.Placement
+	// PlacementMode selects with- or without-replacement sampling.
+	PlacementMode = cache.Mode
+)
+
+// Placement mode constants.
+const (
+	// WithReplacement matches the paper's proportional placement.
+	WithReplacement = cache.WithReplacement
+	// WithoutReplacement is the distinct-files ablation variant.
+	WithoutReplacement = cache.WithoutReplacement
+)
+
+// Place draws a cache placement: n nodes, m slots each, files sampled from
+// pop. See cache.Place.
+func Place(n, m int, pop Popularity, mode PlacementMode, r *rand.Rand) *Placement {
+	return cache.Place(n, m, pop, mode, r)
+}
+
+// ReplicationPolicy transforms popularity into the placement profile.
+type ReplicationPolicy = replication.Policy
+
+// Replication policy constants for Config.PlacementPolicy.
+const (
+	// Proportional caches ∝ popularity (paper default; load-optimal).
+	Proportional = replication.Proportional
+	// SquareRootPlace caches ∝ √popularity (search-optimal classic).
+	SquareRootPlace = replication.SquareRoot
+	// UniformPlace ignores popularity.
+	UniformPlace = replication.UniformPlace
+	// CappedPlace caps any single file's placement mass.
+	CappedPlace = replication.Capped
+)
+
+// Strategies (the paper's contribution).
+type (
+	// Request is one content demand (origin node, file).
+	Request = core.Request
+	// Assignment is a served request (server, hops, miss flags).
+	Assignment = core.Assignment
+	// Strategy maps requests to servers given current loads.
+	Strategy = core.Strategy
+	// NearestReplica is Strategy I.
+	NearestReplica = core.NearestReplica
+	// TwoChoice is Strategy II and its d-choice generalization.
+	TwoChoice = core.TwoChoice
+	// TwoChoiceConfig parameterizes Strategy II.
+	TwoChoiceConfig = core.TwoChoiceConfig
+	// Loads tracks per-server load during an allocation.
+	Loads = ballsbins.Loads
+)
+
+// RadiusUnbounded selects r = ∞ for choice-based strategies.
+const RadiusUnbounded = core.RadiusUnbounded
+
+// NewNearestReplica builds Strategy I over a world.
+func NewNearestReplica(g *Grid, p *Placement) *NearestReplica {
+	return core.NewNearestReplica(g, p)
+}
+
+// NewTwoChoice builds Strategy II over a world.
+func NewTwoChoice(g *Grid, p *Placement, cfg TwoChoiceConfig) *TwoChoice {
+	return core.NewTwoChoice(g, p, cfg)
+}
+
+// NewLoads returns an all-zero load vector over n servers.
+func NewLoads(n int) *Loads { return ballsbins.NewLoads(n) }
+
+// Simulation engine.
+type (
+	// Config declares one simulated world (topology, placement,
+	// strategy, request process).
+	Config = sim.Config
+	// StrategySpec declares the assignment strategy inside a Config.
+	StrategySpec = sim.StrategySpec
+	// PopSpec declares the popularity profile inside a Config.
+	PopSpec = sim.PopSpec
+	// MissPolicy resolves unservable requests.
+	MissPolicy = sim.MissPolicy
+	// Result holds one trial's metrics.
+	Result = sim.Result
+	// Aggregate holds experiment-level statistics over trials.
+	Aggregate = sim.Aggregate
+	// Summary is a streaming mean/variance/CI accumulator.
+	Summary = stats.Summary
+)
+
+// Strategy kind constants for StrategySpec.Kind.
+const (
+	// Nearest is Strategy I.
+	Nearest = sim.Nearest
+	// TwoChoices is Strategy II.
+	TwoChoices = sim.TwoChoices
+	// OneChoiceRandom is the load-blind random-replica baseline.
+	OneChoiceRandom = sim.OneChoiceRandom
+	// Oracle is the full-information least-loaded baseline.
+	Oracle = sim.Oracle
+)
+
+// Popularity kind constants for PopSpec.Kind.
+const (
+	// PopUniform selects the Uniform profile.
+	PopUniform = sim.PopUniform
+	// PopZipf selects the Zipf profile (set PopSpec.Gamma).
+	PopZipf = sim.PopZipf
+)
+
+// Miss policy constants.
+const (
+	// MissResample conditions requests on cached files (paper default).
+	MissResample = sim.MissResample
+	// MissEscalate serves uncached files via backhaul, widens radii.
+	MissEscalate = sim.MissEscalate
+	// MissOrigin serves every miss at the origin.
+	MissOrigin = sim.MissOrigin
+)
+
+// RunTrial executes one deterministic simulation trial.
+func RunTrial(cfg Config, trial uint64) (Result, error) { return sim.RunTrial(cfg, trial) }
+
+// Run executes trials in parallel and aggregates (workers ≤ 0 uses
+// GOMAXPROCS); results are independent of the worker count.
+func Run(cfg Config, trials, workers int) (Aggregate, error) { return sim.Run(cfg, trials, workers) }
+
+// Queueing extension (§VI conjecture).
+type (
+	// QueueConfig declares a supermarket-model run.
+	QueueConfig = queueing.Config
+	// QueueResult holds its steady-state observations.
+	QueueResult = queueing.Result
+)
+
+// RunQueue executes the continuous-time supermarket simulation.
+func RunQueue(cfg QueueConfig) (QueueResult, error) { return queueing.Run(cfg) }
+
+// Experiments (paper figures and tables).
+type (
+	// ExpOptions configures an experiment run (preset, trials, seed).
+	ExpOptions = experiments.Options
+	// ExpTable is one reproduced figure or table.
+	ExpTable = experiments.Table
+)
+
+// Experiment presets.
+const (
+	// PresetQuick is CI-sized (minutes).
+	PresetQuick = experiments.Quick
+	// PresetPaper approaches the paper's replica counts (hours).
+	PresetPaper = experiments.Paper
+)
+
+// Experiment runs the reproduction registered under id ("fig1".."fig5",
+// "zipf-cost", "thm12", "thm4", "lemma1", "confgraph", "example3",
+// "supermarket", "uniform-cost-law").
+func Experiment(id string, opt ExpOptions) (*ExpTable, error) {
+	r, err := experiments.Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return r(opt)
+}
+
+// ExperimentIDs lists every registered experiment.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RandomSource returns a deterministic splittable random source for use
+// with the lower-level builders (cache.Place etc.).
+func RandomSource(seed uint64) xrand.Source { return xrand.NewSource(seed) }

@@ -1,0 +1,91 @@
+package repro_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := repro.Config{
+		Side: 15, K: 50, M: 4,
+		Strategy: repro.StrategySpec{Kind: repro.TwoChoices, Radius: 5},
+		Seed:     1,
+	}
+	agg, err := repro.Run(cfg, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Trials != 8 || agg.MaxLoad.Mean() < 1 {
+		t.Fatalf("aggregate wrong: %v", agg)
+	}
+	res, err := repro.RunTrial(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxLoad < 1 {
+		t.Fatalf("trial wrong: %+v", res)
+	}
+}
+
+func TestFacadeLowLevelComposition(t *testing.T) {
+	// Compose the exported building blocks directly, as a downstream
+	// user would.
+	g := repro.NewGrid(10, repro.Torus)
+	src := repro.RandomSource(3)
+	pop := repro.NewZipf(20, 1.0)
+	p := repro.Place(g.N(), 3, pop, repro.WithReplacement, src.Stream(0))
+	strat := repro.NewTwoChoice(g, p, repro.TwoChoiceConfig{Radius: repro.RadiusUnbounded})
+	loads := repro.NewLoads(g.N())
+	r := src.Split(9).Stream(0)
+	for i := 0; i < g.N(); i++ {
+		req := repro.Request{Origin: int32(r.IntN(g.N())), File: int32(pop.Sample(r))}
+		a := strat.Assign(req, loads, r)
+		loads.Add(int(a.Server))
+	}
+	if loads.Total() != g.N() {
+		t.Fatalf("placed %d balls, want %d", loads.Total(), g.N())
+	}
+	if loads.Max() < 1 {
+		t.Fatal("no load recorded")
+	}
+}
+
+func TestFacadeQueueing(t *testing.T) {
+	res, err := repro.RunQueue(repro.QueueConfig{
+		Side: 10, K: 20, M: 4, Lambda: 0.6, Radius: -1, Horizon: 60, WarmUp: 10, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrivals == 0 || res.MaxQueue < 1 {
+		t.Fatalf("queueing run degenerate: %+v", res)
+	}
+}
+
+func TestFacadeExperimentRegistry(t *testing.T) {
+	ids := repro.ExperimentIDs()
+	if len(ids) < 10 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		seen[id] = true
+	}
+	for _, want := range []string{"fig1", "fig2", "fig3", "fig4", "fig5", "zipf-cost", "supermarket"} {
+		if !seen[want] {
+			t.Fatalf("experiment %q missing from registry %v", want, ids)
+		}
+	}
+	if _, err := repro.Experiment("no-such-id", repro.ExpOptions{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	tb, err := repro.Experiment("lemma1", repro.ExpOptions{Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb.Markdown(), "lemma1") {
+		t.Fatal("experiment table malformed")
+	}
+}
