@@ -1,0 +1,123 @@
+package dist
+
+import (
+	"math/rand/v2"
+)
+
+// Alias is a Walker/Vose alias table: after O(K) construction it draws
+// from an arbitrary discrete distribution in O(1) — one bounded integer
+// draw, one float draw, one comparison — independent of K. It is the
+// hot-path sampler behind Zipf and Custom; CDF is the O(log K) alternative
+// kept for verification and benchmarks.
+//
+// Construction follows Vose's stable two-worklist formulation: columns are
+// scaled to mean 1 and split into "small" (< 1) and "large" (≥ 1); each
+// small column is topped up by an alias into a large one.
+type Alias struct {
+	prob  []float64 // acceptance threshold per column, in [0, 1]
+	alias []int32   // donor column used when the threshold draw fails
+}
+
+// NewAlias builds the table from probs, which must be non-empty with
+// non-negative finite entries and a positive sum. probs need not be
+// normalized; it is copied, so the caller may reuse the slice.
+func NewAlias(probs []float64) *Alias {
+	n := len(probs)
+	sum := validWeightSum("NewAlias", probs)
+
+	a := &Alias{prob: make([]float64, n), alias: make([]int32, n)}
+	// Scale so the mean column height is exactly 1.
+	scaled := make([]float64, n)
+	scale := float64(n) / sum
+	for i, p := range probs {
+		scaled[i] = p * scale
+	}
+
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i := n - 1; i >= 0; i-- {
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		// The donor loses the mass it lent to column s.
+		scaled[l] = (scaled[l] + scaled[s]) - 1
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	// Leftovers are 1 up to floating-point residue.
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a
+}
+
+// K returns the support size.
+func (a *Alias) K() int { return len(a.prob) }
+
+// Sample draws one index in O(1).
+func (a *Alias) Sample(r *rand.Rand) int {
+	i := r.IntN(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}
+
+// CDF samples by inverse transform over the cumulative distribution with
+// binary search: O(K) construction, O(log K) per draw. It exists as the
+// baseline the alias method is benchmarked against and as an independent
+// implementation for cross-checking Alias in tests.
+type CDF struct {
+	cum []float64
+}
+
+// NewCDF builds the cumulative table from probs (same contract as
+// NewAlias: non-empty, non-negative, positive sum; need not be
+// normalized).
+func NewCDF(probs []float64) *CDF {
+	n := len(probs)
+	sum := validWeightSum("NewCDF", probs)
+	cum := make([]float64, n)
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		cum[i] = acc / sum
+	}
+	cum[n-1] = 1 // guard against residue leaving the tail unreachable
+	return &CDF{cum: cum}
+}
+
+// K returns the support size.
+func (c *CDF) K() int { return len(c.cum) }
+
+// Sample draws one index in O(log K).
+func (c *CDF) Sample(r *rand.Rand) int {
+	u := r.Float64()
+	lo, hi := 0, len(c.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.cum[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

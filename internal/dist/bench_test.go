@@ -1,0 +1,67 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// The acceptance bar for the alias default: at k = 10^4 the O(1) alias
+// draw must be at least as fast as the O(log k) CDF binary search, and its
+// cost must stay flat as k grows.
+const benchK = 10000
+
+func BenchmarkZipfSample(b *testing.B) {
+	z := NewZipf(benchK, 1.2)
+	r := xrand.NewSource(1).Stream(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Sample(r)
+	}
+}
+
+func BenchmarkAliasSample(b *testing.B) {
+	a := NewAlias(NewZipf(benchK, 1.2).PMF())
+	r := xrand.NewSource(1).Stream(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Sample(r)
+	}
+}
+
+func BenchmarkCDFSample(b *testing.B) {
+	c := NewCDF(NewZipf(benchK, 1.2).PMF())
+	r := xrand.NewSource(1).Stream(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Sample(r)
+	}
+}
+
+func BenchmarkUniformSample(b *testing.B) {
+	u := NewUniform(benchK)
+	r := xrand.NewSource(1).Stream(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u.Sample(r)
+	}
+}
+
+// Scaling check: alias cost should be flat in k, CDF cost logarithmic.
+func BenchmarkAliasSampleK1e6(b *testing.B) {
+	a := NewAlias(NewZipf(1000000, 1.2).PMF())
+	r := xrand.NewSource(1).Stream(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Sample(r)
+	}
+}
+
+func BenchmarkCDFSampleK1e6(b *testing.B) {
+	c := NewCDF(NewZipf(1000000, 1.2).PMF())
+	r := xrand.NewSource(1).Stream(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Sample(r)
+	}
+}
