@@ -201,3 +201,10 @@ func TheoryTwoChoiceMax(n int) float64 {
 	}
 	return math.Log(ln) / math.Ln2
 }
+
+// Reset zeroes the load vector so the allocation can be reused for a new
+// trial without reallocating the bins.
+func (l *Loads) Reset() {
+	clear(l.bins)
+	l.max = 0
+}

@@ -4,12 +4,19 @@
 // package also maintains the inverted replica index used by both request
 // assignment strategies, and exposes the structural quantities t(u) and
 // t(u,v) from the goodness property (Definition 5, Lemma 2).
+//
+// Placements are stored in CSR (compressed sparse row) form: the forward
+// map node → files and the inverted index file → replica nodes each live
+// in one flat backing array with an offset index, instead of n + K little
+// heap-allocated slices. A Placer owns the backing arrays plus all build
+// scratch, so the per-trial placement build of the simulation engine is
+// allocation-free after the first trial.
 package cache
 
 import (
 	"fmt"
 	"math/rand/v2"
-	"sort"
+	"slices"
 
 	"repro/internal/dist"
 )
@@ -39,20 +46,66 @@ func (m Mode) String() string {
 }
 
 // Placement is an immutable cache assignment for n nodes over a K-file
-// library. Build one per simulation trial with Place.
+// library, in CSR layout. Build one per simulation trial with Place, or —
+// on the hot path — through a reusable Placer.
 type Placement struct {
 	n, k, m int
 
-	// nodeFiles[u] lists the distinct files cached at node u, sorted
-	// ascending (length t(u) ≤ M).
-	nodeFiles [][]int32
+	// files[nodeOff[u]:nodeOff[u+1]] lists the distinct files cached at
+	// node u, sorted ascending (length t(u) ≤ M).
+	files   []int32
+	nodeOff []int32 // length n+1
 
-	// replicas[j] lists the nodes caching file j (sorted ascending).
-	// This is S_j in the paper's notation.
-	replicas [][]int32
+	// nodes[repOff[j]:repOff[j+1]] lists the nodes caching file j, sorted
+	// ascending. This is S_j in the paper's notation.
+	nodes  []int32
+	repOff []int32 // length k+1
 
 	// cachedFiles lists files with at least one replica, ascending.
 	cachedFiles []int32
+}
+
+// Placer builds placements into reusable backing arrays. One Placer
+// serves one (n, m, k) shape; each Place call overwrites the arrays of
+// the previously returned Placement, so a Placer must only be used when
+// at most one placement per Placer is live at a time (the per-worker
+// trial loop of the simulation engine). Use the package-level Place for
+// an independently-owned placement.
+type Placer struct {
+	n, m, k int
+	p       Placement
+
+	draws  []int32 // n·m flat slot draws (with-replacement batch)
+	counts []int32 // per-file replica count, then CSR fill cursor
+	mark   []uint64
+	stamp  uint64
+}
+
+// NewPlacer returns a Placer for n nodes of m slots over a k-file library.
+// It panics on non-positive dimensions (misconfiguration, not runtime
+// input).
+func NewPlacer(n, m, k int) *Placer {
+	if n <= 0 || m <= 0 {
+		panic(fmt.Sprintf("cache: need n > 0 and m > 0, got n=%d m=%d", n, m))
+	}
+	if k <= 0 {
+		panic(fmt.Sprintf("cache: need k > 0, got k=%d", k))
+	}
+	pl := &Placer{
+		n: n, m: m, k: k,
+		draws:  make([]int32, n*m),
+		counts: make([]int32, k),
+		mark:   make([]uint64, k),
+	}
+	pl.p = Placement{
+		n: n, k: k, m: m,
+		files:       make([]int32, 0, n*min(m, k)),
+		nodeOff:     make([]int32, n+1),
+		nodes:       make([]int32, n*min(m, k)),
+		repOff:      make([]int32, k+1),
+		cachedFiles: make([]int32, 0, k),
+	}
+	return pl
 }
 
 // Place draws a placement: n nodes, M slots each, files sampled from pop.
@@ -61,95 +114,142 @@ func Place(n, m int, pop dist.Popularity, mode Mode, r *rand.Rand) *Placement {
 	if n <= 0 || m <= 0 {
 		panic(fmt.Sprintf("cache: need n > 0 and m > 0, got n=%d m=%d", n, m))
 	}
-	k := pop.K()
-	p := &Placement{
-		n:         n,
-		k:         k,
-		m:         m,
-		nodeFiles: make([][]int32, n),
-		replicas:  make([][]int32, k),
+	// Clone off the Placer so the returned Placement owns right-sized
+	// arrays instead of pinning the builder's scratch (draws/marks/counts)
+	// for its whole lifetime.
+	return NewPlacer(n, m, pop.K()).Place(pop, mode, r).clone()
+}
+
+// clone returns a standalone copy of p with independently owned arrays.
+func (p *Placement) clone() *Placement {
+	c := *p
+	c.files = slices.Clone(p.files)
+	c.nodeOff = slices.Clone(p.nodeOff)
+	c.nodes = slices.Clone(p.nodes)
+	c.repOff = slices.Clone(p.repOff)
+	c.cachedFiles = slices.Clone(p.cachedFiles)
+	return &c
+}
+
+// Place draws a placement into the Placer's backing arrays, invalidating
+// any previously returned Placement. The RNG is consumed in exactly the
+// same order as the original one-slice-per-node build, so results are bit
+// identical for identical (pop, mode, r) histories.
+func (pl *Placer) Place(pop dist.Popularity, mode Mode, r *rand.Rand) *Placement {
+	if pop.K() != pl.k {
+		panic(fmt.Sprintf("cache: placer built for k=%d, profile has k=%d", pl.k, pop.K()))
 	}
-	scratch := make([]int32, 0, m)
-	for u := 0; u < n; u++ {
-		scratch = scratch[:0]
-		switch mode {
-		case WithReplacement:
-			for s := 0; s < m; s++ {
-				scratch = append(scratch, int32(pop.Sample(r)))
-			}
-		case WithoutReplacement:
-			if m >= k {
-				// Degenerate: cache the whole library.
-				for j := 0; j < k; j++ {
-					scratch = append(scratch, int32(j))
+	p := &pl.p
+	p.files = p.files[:0]
+
+	switch mode {
+	case WithReplacement:
+		// Batched sampling: all n·M slot draws in one call (identical RNG
+		// consumption to per-slot draws, see dist.BatchSampler), then a
+		// counting dedup per node via stamped marks — no per-node sort
+		// input copy, no map.
+		dist.SampleBatch(pop, r, pl.draws)
+		for u := 0; u < pl.n; u++ {
+			pl.stamp++
+			start := len(p.files)
+			for _, f := range pl.draws[u*pl.m : (u+1)*pl.m] {
+				if pl.mark[f] != pl.stamp {
+					pl.mark[f] = pl.stamp
+					p.files = append(p.files, f)
 				}
-			} else {
-				// Rejection sampling is fast while m << K (the paper's
-				// M ≪ K standing assumption); fall back to a marked
-				// sweep when the ratio is high.
-				seen := make(map[int32]bool, m)
-				tries := 0
-				for len(scratch) < m {
-					f := int32(pop.Sample(r))
-					if !seen[f] {
-						seen[f] = true
-						scratch = append(scratch, f)
-					}
-					tries++
-					if tries > 64*m && len(scratch) < m {
-						scratch = fillRemainder(scratch, m, seen, k, r)
-						break
-					}
-				}
 			}
-		default:
-			panic(fmt.Sprintf("cache: unknown mode %v", mode))
+			slices.Sort(p.files[start:])
+			p.nodeOff[u+1] = int32(len(p.files))
 		}
-		p.setNode(u, scratch)
+	case WithoutReplacement:
+		pl.placeWithoutReplacement(pop, r)
+	default:
+		panic(fmt.Sprintf("cache: unknown mode %v", mode))
 	}
-	for j, s := range p.replicas {
-		if len(s) > 0 {
-			p.cachedFiles = append(p.cachedFiles, int32(j))
-		}
-		_ = s
-	}
+
+	pl.buildReplicaIndex()
 	return p
 }
 
+// placeWithoutReplacement fills each node with m distinct files. The
+// rejection loop is fast while m << K (the paper's M ≪ K standing
+// assumption); a marked sweep completes the draw when rejection stalls.
+func (pl *Placer) placeWithoutReplacement(pop dist.Popularity, r *rand.Rand) {
+	p := &pl.p
+	for u := 0; u < pl.n; u++ {
+		pl.stamp++
+		start := len(p.files)
+		if pl.m >= pl.k {
+			// Degenerate: cache the whole library.
+			for j := int32(0); j < int32(pl.k); j++ {
+				p.files = append(p.files, j)
+			}
+		} else {
+			tries := 0
+			for len(p.files)-start < pl.m {
+				f := int32(pop.Sample(r))
+				if pl.mark[f] != pl.stamp {
+					pl.mark[f] = pl.stamp
+					p.files = append(p.files, f)
+				}
+				tries++
+				if tries > 64*pl.m && len(p.files)-start < pl.m {
+					pl.fillRemainder(start, r)
+					break
+				}
+			}
+		}
+		slices.Sort(p.files[start:])
+		p.nodeOff[u+1] = int32(len(p.files))
+	}
+}
+
 // fillRemainder completes a without-replacement draw uniformly over the
-// unseen files when popularity rejection stalls (extremely skewed Zipf).
-func fillRemainder(scratch []int32, m int, seen map[int32]bool, k int, r *rand.Rand) []int32 {
-	missing := make([]int32, 0, k-len(seen))
-	for j := int32(0); j < int32(k); j++ {
-		if !seen[j] {
+// unmarked files when popularity rejection stalls (extremely skewed Zipf).
+func (pl *Placer) fillRemainder(start int, r *rand.Rand) {
+	p := &pl.p
+	missing := make([]int32, 0, pl.k-(len(p.files)-start))
+	for j := int32(0); j < int32(pl.k); j++ {
+		if pl.mark[j] != pl.stamp {
 			missing = append(missing, j)
 		}
 	}
-	for len(scratch) < m && len(missing) > 0 {
+	for len(p.files)-start < pl.m && len(missing) > 0 {
 		i := r.IntN(len(missing))
-		scratch = append(scratch, missing[i])
+		p.files = append(p.files, missing[i])
 		missing[i] = missing[len(missing)-1]
 		missing = missing[:len(missing)-1]
 	}
-	return scratch
 }
 
-// setNode dedupes, sorts and stores the slot draws for node u and updates
-// the replica index.
-func (p *Placement) setNode(u int, slots []int32) {
-	distinct := append([]int32(nil), slots...)
-	sort.Slice(distinct, func(i, j int) bool { return distinct[i] < distinct[j] })
-	w := 0
-	for i, f := range distinct {
-		if i == 0 || f != distinct[w-1] {
-			distinct[w] = f
-			w++
+// buildReplicaIndex constructs the inverted CSR index in two passes:
+// count replicas per file, prefix-sum into offsets, then scatter node ids.
+// Scanning nodes in ascending order keeps every S_j sorted for free.
+func (pl *Placer) buildReplicaIndex() {
+	p := &pl.p
+	clear(pl.counts)
+	for _, f := range p.files {
+		pl.counts[f]++
+	}
+	total := int32(0)
+	for j := 0; j < pl.k; j++ {
+		p.repOff[j] = total
+		total += pl.counts[j]
+		pl.counts[j] = p.repOff[j] // reuse as fill cursor
+	}
+	p.repOff[pl.k] = total
+	p.nodes = p.nodes[:total]
+	for u := 0; u < pl.n; u++ {
+		for _, f := range p.files[p.nodeOff[u]:p.nodeOff[u+1]] {
+			p.nodes[pl.counts[f]] = int32(u)
+			pl.counts[f]++
 		}
 	}
-	distinct = distinct[:w]
-	p.nodeFiles[u] = distinct
-	for _, f := range distinct {
-		p.replicas[f] = append(p.replicas[f], int32(u))
+	p.cachedFiles = p.cachedFiles[:0]
+	for j := 0; j < pl.k; j++ {
+		if p.repOff[j+1] > p.repOff[j] {
+			p.cachedFiles = append(p.cachedFiles, int32(j))
+		}
 	}
 }
 
@@ -164,26 +264,38 @@ func (p *Placement) M() int { return p.m }
 
 // Replicas returns S_j, the sorted node list caching file j. The caller
 // must not mutate the returned slice.
-func (p *Placement) Replicas(j int) []int32 { return p.replicas[j] }
+func (p *Placement) Replicas(j int) []int32 { return p.nodes[p.repOff[j]:p.repOff[j+1]] }
 
 // NodeFiles returns the sorted distinct files cached at node u. The caller
 // must not mutate the returned slice.
-func (p *Placement) NodeFiles(u int) []int32 { return p.nodeFiles[u] }
+func (p *Placement) NodeFiles(u int) []int32 { return p.files[p.nodeOff[u]:p.nodeOff[u+1]] }
 
-// Has reports whether node u caches file j (binary search, O(log t(u))).
+// Has reports whether node u caches file j. Sorted-scan for the short
+// lists that dominate (t(u) ≤ M, typically ≤ a few dozen), binary search
+// beyond; both avoid the closure dispatch of sort.Search on what is the
+// single hottest lookup of the ball-side candidate sampler.
 func (p *Placement) Has(u, j int) bool {
-	files := p.nodeFiles[u]
-	i := sort.Search(len(files), func(i int) bool { return files[i] >= int32(j) })
-	return i < len(files) && files[i] == int32(j)
+	files := p.files[p.nodeOff[u]:p.nodeOff[u+1]]
+	f := int32(j)
+	if len(files) <= 32 {
+		for _, v := range files {
+			if v >= f {
+				return v == f
+			}
+		}
+		return false
+	}
+	_, ok := slices.BinarySearch(files, f)
+	return ok
 }
 
 // T returns t(u), the number of distinct files cached at node u.
-func (p *Placement) T(u int) int { return len(p.nodeFiles[u]) }
+func (p *Placement) T(u int) int { return int(p.nodeOff[u+1] - p.nodeOff[u]) }
 
 // TPair returns t(u,v) = |T(u,v)|, the number of distinct files cached at
 // both u and v, via sorted-list intersection.
 func (p *Placement) TPair(u, v int) int {
-	a, b := p.nodeFiles[u], p.nodeFiles[v]
+	a, b := p.NodeFiles(u), p.NodeFiles(v)
 	t, i, j := 0, 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -265,14 +377,17 @@ func (p *Placement) CheckGoodness(pairSamples int, r *rand.Rand) Goodness {
 // replicas, for c in 0..n (used by Example 2's analysis and by tests).
 func (p *Placement) ReplicaCountHistogram() []int {
 	maxC := 0
-	for _, s := range p.replicas {
-		if len(s) > maxC {
-			maxC = len(s)
+	for j := 0; j < p.k; j++ {
+		if c := p.ReplicaCount(j); c > maxC {
+			maxC = c
 		}
 	}
 	counts := make([]int, maxC+1)
-	for _, s := range p.replicas {
-		counts[len(s)]++
+	for j := 0; j < p.k; j++ {
+		counts[p.ReplicaCount(j)]++
 	}
 	return counts
 }
+
+// ReplicaCount returns |S_j| without materializing the slice header.
+func (p *Placement) ReplicaCount(j int) int { return int(p.repOff[j+1] - p.repOff[j]) }

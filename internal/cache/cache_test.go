@@ -321,3 +321,14 @@ func BenchmarkTPair(b *testing.B) {
 		_ = p.TPair(i%2025, (i*7+13)%2025)
 	}
 }
+
+// BenchmarkPlacePaperScale measures the placement build at the acceptance
+// point (n=4900, M=10, K=10^4 Zipf γ=1.2).
+func BenchmarkPlacePaperScale(b *testing.B) {
+	pop := dist.NewZipf(10000, 1.2)
+	src := xrand.NewSource(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Place(4900, 10, pop, WithReplacement, src.Stream(uint64(i)))
+	}
+}

@@ -66,6 +66,16 @@ func assignmentTo(g *grid.Grid, req Request, server int32, escalated bool) Assig
 	}
 }
 
+// Rebindable is implemented by strategies whose placement can be swapped
+// between trials while the topology, configuration and scratch buffers are
+// kept. The compiled simulation world uses it to run many trials through
+// one strategy instance instead of rebuilding it per trial.
+type Rebindable interface {
+	Strategy
+	// Rebind points the strategy at a new placement over the same grid.
+	Rebind(p *cache.Placement)
+}
+
 // common wires the topology and placement into every concrete strategy.
 type common struct {
 	g *grid.Grid
@@ -77,4 +87,11 @@ func newCommon(g *grid.Grid, p *cache.Placement) common {
 		panic("core: grid and placement disagree on node count")
 	}
 	return common{g: g, p: p}
+}
+
+func (c *common) rebind(p *cache.Placement) {
+	if c.g.N() != p.N() {
+		panic("core: grid and placement disagree on node count")
+	}
+	c.p = p
 }

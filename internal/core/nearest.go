@@ -25,6 +25,7 @@ import (
 type NearestReplica struct {
 	common
 	sqrtN    int
+	rings    *grid.RingTable // precomputed ring templates (nil on bounded)
 	ringBuf  []int32
 	tieBuf   []int32
 	searchFn SearchMode
@@ -69,9 +70,14 @@ func NewNearestReplicaMode(g *grid.Grid, p *cache.Placement, mode SearchMode) *N
 	return &NearestReplica{
 		common:   newCommon(g, p),
 		sqrtN:    int(math.Sqrt(float64(g.N()))),
+		rings:    g.NewRingTable(),
 		searchFn: mode,
 	}
 }
+
+// Rebind implements Rebindable: swap the placement, keep scratch and the
+// precomputed ring templates.
+func (s *NearestReplica) Rebind(p *cache.Placement) { s.common.rebind(p) }
 
 // Name implements Strategy.
 func (s *NearestReplica) Name() string { return "nearest-replica" }
@@ -97,7 +103,11 @@ func (s *NearestReplica) Assign(req Request, _ *ballsbins.Loads, r *rand.Rand) A
 // uniformly among that ring's replicas.
 func (s *NearestReplica) ringSearch(req Request, r *rand.Rand) int32 {
 	for d := 0; d <= s.g.Diameter(); d++ {
-		s.ringBuf = s.g.Ring(int(req.Origin), d, s.ringBuf[:0])
+		if s.rings != nil {
+			s.ringBuf = s.rings.Ring(int(req.Origin), d, s.ringBuf[:0])
+		} else {
+			s.ringBuf = s.g.Ring(int(req.Origin), d, s.ringBuf[:0])
+		}
 		s.tieBuf = s.tieBuf[:0]
 		for _, v := range s.ringBuf {
 			if s.p.Has(int(v), int(req.File)) {

@@ -43,8 +43,9 @@ type TwoChoiceConfig struct {
 type TwoChoice struct {
 	common
 	cfg     TwoChoiceConfig
-	ballN   int // |B_r| on the torus (candidate-space size for rejection)
-	maxTry  int // rejection budget before exact fallback
+	ballN   int             // |B_r| on the torus (candidate-space size for rejection)
+	maxTry  int             // rejection budget before exact fallback
+	ball    *grid.BallTable // precomputed B_r template (nil when inapplicable)
 	ballBuf []int32
 	candBuf []int32
 }
@@ -70,6 +71,7 @@ func NewTwoChoice(g *grid.Grid, p *cache.Placement, cfg TwoChoiceConfig) *TwoCho
 	t := &TwoChoice{common: newCommon(g, p), cfg: cfg}
 	if cfg.Radius != RadiusUnbounded {
 		t.ballN = g.BallSize(cfg.Radius)
+		t.ball = g.NewBallTable(cfg.Radius)
 		// Expected rejection tries per accepted draw is n/|B_r|; budget a
 		// small multiple before paying for the exact candidate list.
 		// Distinct-candidate sampling always uses the exact list (the
@@ -80,6 +82,9 @@ func NewTwoChoice(g *grid.Grid, p *cache.Placement, cfg TwoChoiceConfig) *TwoCho
 	}
 	return t
 }
+
+// Rebind implements Rebindable: swap the placement, keep scratch.
+func (s *TwoChoice) Rebind(p *cache.Placement) { s.common.rebind(p) }
 
 // Name implements Strategy.
 func (s *TwoChoice) Name() string {
@@ -110,45 +115,38 @@ func (s *TwoChoice) Assign(req Request, loads *ballsbins.Loads, r *rand.Rand) As
 	if s.cfg.Beta > 0 && s.cfg.Beta < 1 && r.Float64() >= s.cfg.Beta {
 		d = 1 // the (1+β) process degrades to one choice this round
 	}
-	pool, escalated := s.candidatePool(req, reps)
-	if pool == nil {
-		// In-radius rejection sampling against the full replica list.
-		if srv, ok := s.sampleByRejection(req, reps, d, loads, r); ok {
+	if s.cfg.Radius == RadiusUnbounded {
+		return assignmentTo(s.g, req, s.pickFromPool(reps, d, loads, r), false)
+	}
+	// Bounded radius. Rejection sampling pays off only when the replica
+	// list is larger than the try budget; the budget is zero for
+	// distinct-candidate sampling (the rejection loop cannot guarantee
+	// distinctness cheaply), which therefore goes straight to the exact
+	// filter instead of through a doomed sampler. Both rejection forms
+	// draw uniformly over S_j ∩ B_r(u), from whichever side of the
+	// intersection is denser: a uniform replica accepted when it lies in
+	// the ball (sparse files), or a uniform ball node accepted when it
+	// caches the file (popular files, where the replica list can be
+	// almost the whole network and in-ball hits are rare).
+	if len(reps) > s.maxTry && s.maxTry > 0 {
+		if s.ball != nil && len(reps) > s.ballN {
+			if srv, ok := s.sampleFromBall(req, d, loads, r); ok {
+				return assignmentTo(s.g, req, srv, false)
+			}
+		} else if srv, ok := s.sampleByRejection(req, reps, d, loads, r); ok {
 			return assignmentTo(s.g, req, srv, false)
 		}
-		// Budget exhausted: compute the exact in-radius candidate list.
-		s.candBuf = s.exactCandidates(req, reps, s.candBuf[:0])
-		pool = s.candBuf
-		if len(pool) == 0 {
-			if s.cfg.NoEscalate {
-				return backhaul(req)
-			}
-			pool, escalated = reps, true
+	}
+	// Exact in-radius candidate list (also the rejection fallback).
+	s.candBuf = s.exactCandidates(req, reps, s.candBuf[:0])
+	pool, escalated := s.candBuf, false
+	if len(pool) == 0 {
+		if s.cfg.NoEscalate {
+			return backhaul(req)
 		}
+		pool, escalated = reps, true
 	}
 	return assignmentTo(s.g, req, s.pickFromPool(pool, d, loads, r), escalated)
-}
-
-// candidatePool returns the slice to sample from when no rejection loop is
-// needed: the full replica list if the radius is unbounded, or nil to
-// signal that in-radius sampling is required.
-func (s *TwoChoice) candidatePool(req Request, reps []int32) ([]int32, bool) {
-	if s.cfg.Radius == RadiusUnbounded {
-		return reps, false
-	}
-	// If the replica list is smaller than the rejection budget, exact
-	// filtering is outright cheaper — skip rejection.
-	if len(reps) <= s.maxTry {
-		s.candBuf = s.exactCandidates(req, reps, s.candBuf[:0])
-		if len(s.candBuf) == 0 {
-			if s.cfg.NoEscalate {
-				return nil, false // caller re-detects via exactCandidates
-			}
-			return reps, true
-		}
-		return s.candBuf, false
-	}
-	return nil, false
 }
 
 // exactCandidates filters the replicas of req.File to those within the
@@ -163,7 +161,11 @@ func (s *TwoChoice) exactCandidates(req Request, reps []int32, dst []int32) []in
 		}
 		return dst
 	}
-	s.ballBuf = s.g.Ball(int(req.Origin), s.cfg.Radius, s.ballBuf[:0])
+	if s.ball != nil {
+		s.ballBuf = s.ball.Append(int(req.Origin), s.ballBuf[:0])
+	} else {
+		s.ballBuf = s.g.Ball(int(req.Origin), s.cfg.Radius, s.ballBuf[:0])
+	}
 	for _, v := range s.ballBuf {
 		if s.p.Has(int(v), int(req.File)) {
 			dst = append(dst, v)
@@ -187,6 +189,35 @@ func (s *TwoChoice) sampleByRejection(req Request, reps []int32, d int, loads *b
 		tries++
 		v := reps[r.IntN(len(reps))]
 		if s.g.Dist(int(req.Origin), int(v)) > s.cfg.Radius {
+			continue
+		}
+		accepted++
+		best, ties = s.foldCandidate(best, ties, v, loads, r)
+	}
+	return best, true
+}
+
+// sampleFromBall draws the d candidates by rejection from the ball
+// (uniform node of B_r(u), accepted when it caches the file). Uniform over
+// S_j ∩ B_r(u), exactly like sampleByRejection, but with acceptance
+// probability |S_j ∩ B_r|/|B_r| instead of |S_j ∩ B_r|/|S_j| — the right
+// side of the intersection when replicas outnumber the ball. Returns
+// ok=false when the try budget is exhausted before d acceptances.
+func (s *TwoChoice) sampleFromBall(req Request, d int, loads *ballsbins.Loads, r *rand.Rand) (int32, bool) {
+	// Expected tries per accepted draw is |B_r|/|S_j ∩ B_r| ≈ n/|S_j| ≤
+	// n/|B_r| here; reuse the symmetric budget of the replica-side loop.
+	var best int32 = -1
+	ties := 0
+	accepted := 0
+	tries := 0
+	file := int(req.File)
+	for accepted < d {
+		if tries >= s.maxTry {
+			return -1, false
+		}
+		tries++
+		v := s.ball.Node(int(req.Origin), r.IntN(s.ballN))
+		if !s.p.Has(int(v), file) {
 			continue
 		}
 		accepted++
@@ -271,6 +302,9 @@ func NewLeastLoadedOracle(g *grid.Grid, p *cache.Placement, radius int) *LeastLo
 func (o *LeastLoadedOracle) Name() string {
 	return fmt.Sprintf("least-loaded(r=%s)", o.inner.radiusLabel())
 }
+
+// Rebind implements Rebindable.
+func (o *LeastLoadedOracle) Rebind(p *cache.Placement) { o.inner.Rebind(p) }
 
 // Assign implements Strategy.
 func (o *LeastLoadedOracle) Assign(req Request, loads *ballsbins.Loads, r *rand.Rand) Assignment {

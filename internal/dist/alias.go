@@ -80,6 +80,23 @@ func (a *Alias) Sample(r *rand.Rand) int {
 	return int(a.alias[i])
 }
 
+// SampleBatch fills dst with independent draws. It consumes the RNG in
+// exactly the same order as len(dst) sequential Sample calls, so batched
+// and one-at-a-time sampling are interchangeable bit for bit; the batch
+// form exists to keep the table hot in cache and avoid the per-draw
+// interface dispatch on the placement fast path.
+func (a *Alias) SampleBatch(r *rand.Rand, dst []int32) {
+	n := len(a.prob)
+	for i := range dst {
+		j := r.IntN(n)
+		if r.Float64() < a.prob[j] {
+			dst[i] = int32(j)
+		} else {
+			dst[i] = a.alias[j]
+		}
+	}
+}
+
 // CDF samples by inverse transform over the cumulative distribution with
 // binary search: O(K) construction, O(log K) per draw. It exists as the
 // baseline the alias method is benchmarked against and as an independent

@@ -65,3 +65,25 @@ func BenchmarkCDFSampleK1e6(b *testing.B) {
 		c.Sample(r)
 	}
 }
+
+// Batched draws amortize the interface dispatch and keep the alias table
+// hot; reported per draw for comparison with BenchmarkAliasSample.
+func BenchmarkAliasSampleBatch(b *testing.B) {
+	a := NewAlias(NewZipf(benchK, 1.2).PMF())
+	r := xrand.NewSource(1).Stream(0)
+	dst := make([]int32, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(dst) {
+		a.SampleBatch(r, dst)
+	}
+}
+
+func BenchmarkUniformSampleBatch(b *testing.B) {
+	u := NewUniform(benchK)
+	r := xrand.NewSource(1).Stream(0)
+	dst := make([]int32, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(dst) {
+		u.SampleBatch(r, dst)
+	}
+}

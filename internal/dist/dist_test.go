@@ -235,3 +235,24 @@ func TestDegenerateSingleFile(t *testing.T) {
 		}
 	}
 }
+
+func TestSampleBatchMatchesSequentialSample(t *testing.T) {
+	// Batch and sequential draws must consume the RNG identically — the
+	// placement phase relies on this for bit-reproducible trials.
+	profiles := []Popularity{
+		NewUniform(37),
+		NewZipf(64, 1.3),
+		NewCustom([]float64{1, 0, 2, 5, 0.25}, "w"),
+	}
+	for _, p := range profiles {
+		a := xrand.NewSource(7).Stream(3)
+		b := xrand.NewSource(7).Stream(3)
+		dst := make([]int32, 257)
+		SampleBatch(p, a, dst)
+		for i, got := range dst {
+			if want := int32(p.Sample(b)); got != want {
+				t.Fatalf("%s: draw %d: batch %d != sequential %d", p.Name(), i, got, want)
+			}
+		}
+	}
+}

@@ -7,8 +7,20 @@ import (
 	"repro/internal/sim"
 )
 
+// runGrid executes one figure's full configuration grid through
+// sim.RunSeries, so every (curve, point) pair shares one worker pool:
+// cheap points no longer serialize behind expensive ones and `figures -id
+// all` saturates all cores. Results come back in input order and are
+// bit-identical to running each point through sim.Run.
+func runGrid(cfgs []sim.Config, trials int, opt Options) ([]sim.Aggregate, error) {
+	return sim.RunSeries(cfgs, trials, opt.Workers)
+}
+
 // fig1Sides spans n ≈ 100 .. 3025 as in Fig. 1's x axis.
 var fig1Sides = []int{10, 15, 20, 25, 30, 35, 40, 45, 50, 55}
+
+// fig1CacheSizes is the per-curve cache-size axis M ∈ {1, 2, 10, 100}.
+var fig1CacheSizes = []int{1, 2, 10, 100}
 
 // Figure1 reproduces Fig. 1: maximum load of Strategy I versus the number
 // of servers, one curve per cache size M ∈ {1, 2, 10, 100}; torus, K = 100
@@ -25,18 +37,24 @@ func Figure1(opt Options) (*Table, error) {
 			"expected shape: Θ(log n) growth; larger M flattens the curve",
 		},
 	}
-	for _, m := range []int{1, 2, 10, 100} {
-		s := Series{Name: fmt.Sprintf("M=%d", m)}
+	var cfgs []sim.Config
+	for _, m := range fig1CacheSizes {
 		for _, side := range fig1Sides {
-			cfg := sim.Config{
+			cfgs = append(cfgs, sim.Config{
 				Side: side, K: 100, M: m,
 				Strategy: sim.StrategySpec{Kind: sim.Nearest},
 				Seed:     opt.seed() + uint64(m*1000+side),
-			}
-			agg, err := sim.Run(cfg, trials, opt.Workers)
-			if err != nil {
-				return nil, err
-			}
+			})
+		}
+	}
+	aggs, err := runGrid(cfgs, trials, opt)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range fig1CacheSizes {
+		s := Series{Name: fmt.Sprintf("M=%d", m)}
+		for j, side := range fig1Sides {
+			agg := aggs[i*len(fig1Sides)+j]
 			s.Points = append(s.Points, Point{
 				X: float64(side * side), Y: agg.MaxLoad.Mean(), CI: agg.MaxLoad.CI95(),
 				Extra: map[string]float64{"cost": agg.MeanCost.Mean()},
@@ -49,6 +67,9 @@ func Figure1(opt Options) (*Table, error) {
 
 // fig2CacheSizes samples M ∈ [1, 100] as in Fig. 2's x axis.
 var fig2CacheSizes = []int{1, 2, 3, 4, 5, 6, 8, 10, 13, 16, 20, 25, 30, 40, 50, 60, 70, 85, 100}
+
+// fig2LibrarySizes is the per-curve library axis K ∈ {100, 1000, 2000}.
+var fig2LibrarySizes = []int{100, 1000, 2000}
 
 // Figure2 reproduces Fig. 2: communication cost of Strategy I versus cache
 // size, one curve per library size K ∈ {100, 1000, 2000}; torus n = 2025.
@@ -65,18 +86,24 @@ func Figure2(opt Options) (*Table, error) {
 			"expected shape: C = Θ(√(K/M)) (Theorem 3, uniform popularity)",
 		},
 	}
-	for _, k := range []int{100, 1000, 2000} {
-		s := Series{Name: fmt.Sprintf("K=%d", k)}
+	var cfgs []sim.Config
+	for _, k := range fig2LibrarySizes {
 		for _, m := range fig2CacheSizes {
-			cfg := sim.Config{
+			cfgs = append(cfgs, sim.Config{
 				Side: 45, K: k, M: m,
 				Strategy: sim.StrategySpec{Kind: sim.Nearest},
 				Seed:     opt.seed() + uint64(k*1000+m),
-			}
-			agg, err := sim.Run(cfg, trials, opt.Workers)
-			if err != nil {
-				return nil, err
-			}
+			})
+		}
+	}
+	aggs, err := runGrid(cfgs, trials, opt)
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range fig2LibrarySizes {
+		s := Series{Name: fmt.Sprintf("K=%d", k)}
+		for j, m := range fig2CacheSizes {
+			agg := aggs[i*len(fig2CacheSizes)+j]
 			s.Points = append(s.Points, Point{
 				X: float64(m), Y: agg.MeanCost.Mean(), CI: agg.MeanCost.CI95(),
 				Extra: map[string]float64{"maxload": agg.MaxLoad.Mean()},
@@ -89,6 +116,9 @@ func Figure2(opt Options) (*Table, error) {
 
 // fig3Sides spans n ≈ 2000 .. 1.2e5 as in Fig. 3/4's x axes.
 var fig3Sides = []int{45, 77, 110, 155, 200, 245, 283, 316, 346}
+
+// fig3CacheSizes is the per-curve cache-size axis M ∈ {1, 2, 10, 100}.
+var fig3CacheSizes = []int{1, 2, 10, 100}
 
 // Figure34 reproduces Figs. 3 and 4 from the same simulations: Strategy II
 // with r = ∞, K = 2000, uniform popularity, M ∈ {1, 2, 10, 100}; max load
@@ -115,19 +145,25 @@ func Figure34(opt Options) (*Table, *Table, error) {
 			"expected shape: Θ(√n) growth, insensitive to M",
 		},
 	}
-	for _, m := range []int{1, 2, 10, 100} {
-		sl := Series{Name: fmt.Sprintf("M=%d", m)}
-		sc := Series{Name: fmt.Sprintf("M=%d", m)}
+	var cfgs []sim.Config
+	for _, m := range fig3CacheSizes {
 		for _, side := range fig3Sides {
-			cfg := sim.Config{
+			cfgs = append(cfgs, sim.Config{
 				Side: side, K: 2000, M: m,
 				Strategy: sim.StrategySpec{Kind: sim.TwoChoices, Radius: core.RadiusUnbounded},
 				Seed:     opt.seed() + uint64(m*10000+side),
-			}
-			agg, err := sim.Run(cfg, trials, opt.Workers)
-			if err != nil {
-				return nil, nil, err
-			}
+			})
+		}
+	}
+	aggs, err := runGrid(cfgs, trials, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, m := range fig3CacheSizes {
+		sl := Series{Name: fmt.Sprintf("M=%d", m)}
+		sc := Series{Name: fmt.Sprintf("M=%d", m)}
+		for j, side := range fig3Sides {
+			agg := aggs[i*len(fig3Sides)+j]
 			n := float64(side * side)
 			extra := map[string]float64{"uncached": agg.Uncached.Mean()}
 			sl.Points = append(sl.Points, Point{X: n, Y: agg.MaxLoad.Mean(), CI: agg.MaxLoad.CI95(), Extra: extra})
@@ -154,6 +190,9 @@ func Figure4(opt Options) (*Table, error) {
 // fig5Radii sweeps the proximity constraint to trace the trade-off curve.
 var fig5Radii = []int{1, 2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 26, 32, 44}
 
+// fig5CacheSizes is the per-curve cache-size axis of the trade-off study.
+var fig5CacheSizes = []int{1, 2, 5, 10, 20, 50, 200}
+
 // Figure5 reproduces Fig. 5: the maximum-load/communication-cost trade-off
 // of Strategy II, sweeping radius r; torus n = 2025, K = 500, uniform
 // popularity, M ∈ {1, 2, 5, 10, 20, 50, 200}. Each point is one radius:
@@ -170,18 +209,24 @@ func Figure5(opt Options) (*Table, error) {
 			"expected shape: high-M curves drop to ~log log n at tiny cost; M=1 stays flat-high; intermediate M trade off",
 		},
 	}
-	for _, m := range []int{1, 2, 5, 10, 20, 50, 200} {
-		s := Series{Name: fmt.Sprintf("M=%d", m)}
+	var cfgs []sim.Config
+	for _, m := range fig5CacheSizes {
 		for _, r := range fig5Radii {
-			cfg := sim.Config{
+			cfgs = append(cfgs, sim.Config{
 				Side: 45, K: 500, M: m,
 				Strategy: sim.StrategySpec{Kind: sim.TwoChoices, Radius: r},
 				Seed:     opt.seed() + uint64(m*1000+r),
-			}
-			agg, err := sim.Run(cfg, trials, opt.Workers)
-			if err != nil {
-				return nil, err
-			}
+			})
+		}
+	}
+	aggs, err := runGrid(cfgs, trials, opt)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range fig5CacheSizes {
+		s := Series{Name: fmt.Sprintf("M=%d", m)}
+		for j, r := range fig5Radii {
+			agg := aggs[i*len(fig5Radii)+j]
 			s.Points = append(s.Points, Point{
 				X: agg.MeanCost.Mean(), Y: agg.MaxLoad.Mean(), CI: agg.MaxLoad.CI95(),
 				Extra: map[string]float64{

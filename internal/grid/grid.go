@@ -48,6 +48,9 @@ type Grid struct {
 	l    int
 	n    int
 	topo Topology
+	// xOf/yOf memoize Coord: distance math is the innermost loop of every
+	// strategy, and two table loads beat two integer divisions there.
+	xOf, yOf []int32
 }
 
 // New returns an L×L lattice with the given topology.
@@ -56,7 +59,14 @@ func New(l int, topo Topology) *Grid {
 	if l <= 0 {
 		panic(fmt.Sprintf("grid: side length must be positive, got %d", l))
 	}
-	return &Grid{l: l, n: l * l, topo: topo}
+	g := &Grid{l: l, n: l * l, topo: topo}
+	g.xOf = make([]int32, g.n)
+	g.yOf = make([]int32, g.n)
+	for u := 0; u < g.n; u++ {
+		g.xOf[u] = int32(u % l)
+		g.yOf[u] = int32(u / l)
+	}
+	return g
 }
 
 // NewSquare returns the smallest square lattice with at least n nodes.
@@ -80,7 +90,7 @@ func (g *Grid) N() int { return g.n }
 func (g *Grid) Topology() Topology { return g.topo }
 
 // Coord returns the (x, y) coordinates of node u.
-func (g *Grid) Coord(u int) (x, y int) { return u % g.l, u / g.l }
+func (g *Grid) Coord(u int) (x, y int) { return int(g.xOf[u]), int(g.yOf[u]) }
 
 // ID returns the node index for coordinates (x, y), which must be in range.
 func (g *Grid) ID(x, y int) int { return y*g.l + x }

@@ -58,6 +58,10 @@ func NewLinkLoads(g *grid.Grid) *LinkLoads {
 // Grid returns the underlying lattice.
 func (l *LinkLoads) Grid() *grid.Grid { return l.g }
 
+// Reset zeroes every link counter so the accumulator can be reused for a
+// new trial without reallocating.
+func (l *LinkLoads) Reset() { clear(l.load) }
+
 // Load returns the traffic on node u's outgoing link in direction d.
 func (l *LinkLoads) Load(u int, d Dir) int64 { return l.load[u*int(numDirs)+int(d)] }
 

@@ -6,67 +6,139 @@ import (
 	"sync"
 )
 
-// Run executes trials independent trials of cfg across a worker pool and
-// returns the merged aggregate. Trials are embarrassingly parallel; each
-// carries its own deterministic RNG streams, so the result is identical
-// for any worker count (workers ≤ 0 uses GOMAXPROCS).
-func Run(cfg Config, trials, workers int) (Aggregate, error) {
-	if err := cfg.validate(); err != nil {
-		return Aggregate{}, err
-	}
-	if trials <= 0 {
-		return Aggregate{}, fmt.Errorf("sim: trials must be positive, got %d", trials)
-	}
+// resolveWorkers applies the worker-count defaulting shared by Run and
+// RunSeries: non-positive means GOMAXPROCS, and a single configuration's
+// trials are never split across more blocks than there are trials (the
+// block partition is part of the deterministic reduction order).
+func resolveWorkers(workers, trials int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > trials {
 		workers = trials
 	}
+	return workers
+}
+
+// Run executes trials independent trials of cfg across a worker pool and
+// returns the merged aggregate. The world is compiled once and shared;
+// each worker carries its own Runner, and each trial its own deterministic
+// RNG streams, so the result is identical for any worker count (workers
+// ≤ 0 uses GOMAXPROCS).
+func Run(cfg Config, trials, workers int) (Aggregate, error) {
+	if trials <= 0 {
+		if err := cfg.validate(); err != nil {
+			return Aggregate{}, err
+		}
+		return Aggregate{}, fmt.Errorf("sim: trials must be positive, got %d", trials)
+	}
+	w, err := Compile(cfg)
+	if err != nil {
+		return Aggregate{}, err
+	}
+	workers = resolveWorkers(workers, trials)
 
 	// Static block partition keeps per-worker state cache-friendly and
 	// the reduction deterministic: worker w owns trials [lo_w, hi_w).
 	partials := make([]Aggregate, workers)
-	errs := make([]error, workers)
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := trials * w / workers
-		hi := trials * (w + 1) / workers
+	for i := 0; i < workers; i++ {
+		lo := trials * i / workers
+		hi := trials * (i + 1) / workers
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func(i, lo, hi int) {
 			defer wg.Done()
+			r := w.NewRunner()
 			for t := lo; t < hi; t++ {
-				res, err := RunTrial(cfg, uint64(t))
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				partials[w].Add(res)
+				partials[i].Add(r.RunTrial(uint64(t)))
 			}
-		}(w, lo, hi)
+		}(i, lo, hi)
 	}
 	wg.Wait()
 	var agg Aggregate
-	for w := 0; w < workers; w++ {
-		if errs[w] != nil {
-			return Aggregate{}, errs[w]
-		}
-		agg.Merge(partials[w])
+	for i := 0; i < workers; i++ {
+		agg.Merge(partials[i])
 	}
 	return agg, nil
 }
 
 // RunSeries executes Run over a slice of configs (one experiment curve),
-// parallelizing trials within each point. Results are returned in input
-// order. A non-nil error aborts the series.
+// fanning configurations AND trials out across one shared worker pool, so
+// a sweep with many cheap points saturates all cores instead of
+// parallelizing only within a point. Results are returned in input order
+// and are bit-identical to calling Run(cfg, trials, workers) per point:
+// each point keeps Run's static trial partition and merge order, only the
+// scheduling of the resulting blocks is shared. A non-nil error aborts
+// the series.
 func RunSeries(cfgs []Config, trials, workers int) ([]Aggregate, error) {
-	out := make([]Aggregate, len(cfgs))
+	if len(cfgs) == 0 {
+		return nil, nil
+	}
+	if trials <= 0 {
+		return nil, fmt.Errorf("sim: trials must be positive, got %d", trials)
+	}
+	worlds := make([]*World, len(cfgs))
 	for i, cfg := range cfgs {
-		a, err := Run(cfg, trials, workers)
+		w, err := Compile(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("sim: point %d (%+v): %w", i, cfg, err)
 		}
-		out[i] = a
+		worlds[i] = w
+	}
+	workers = resolveWorkers(workers, trials*len(cfgs))
+	blocks := resolveWorkers(workers, trials) // per-point partition, as in Run
+
+	type task struct {
+		point, block, lo, hi int
+	}
+	tasks := make([]task, 0, len(cfgs)*blocks)
+	for i := range cfgs {
+		for b := 0; b < blocks; b++ {
+			tasks = append(tasks, task{
+				point: i, block: b,
+				lo: trials * b / blocks,
+				hi: trials * (b + 1) / blocks,
+			})
+		}
+	}
+
+	partials := make([][]Aggregate, len(cfgs))
+	for i := range partials {
+		partials[i] = make([]Aggregate, blocks)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Runners are per-(worker, point); reuse the last one while a
+			// worker drains consecutive blocks of the same point.
+			var r *Runner
+			lastPoint := -1
+			for ti := range next {
+				tk := tasks[ti]
+				if tk.point != lastPoint {
+					r = worlds[tk.point].NewRunner()
+					lastPoint = tk.point
+				}
+				for t := tk.lo; t < tk.hi; t++ {
+					partials[tk.point][tk.block].Add(r.RunTrial(uint64(t)))
+				}
+			}
+		}()
+	}
+	for ti := range tasks {
+		next <- ti
+	}
+	close(next)
+	wg.Wait()
+
+	out := make([]Aggregate, len(cfgs))
+	for i := range cfgs {
+		for b := 0; b < blocks; b++ {
+			out[i].Merge(partials[i][b])
+		}
 	}
 	return out, nil
 }

@@ -8,16 +8,14 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 
-	"repro/internal/ballsbins"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/grid"
 	"repro/internal/replication"
-	"repro/internal/routing"
 	"repro/internal/stats"
-	"repro/internal/xrand"
 )
 
 // PopKind selects the popularity profile family.
@@ -186,70 +184,26 @@ type Result struct {
 	LinkCongestion float64 // max/mean link load (1 = perfectly even)
 }
 
+// lastWorld memoizes the most recently compiled world, so callers that
+// loop RunTrial over one configuration (benchmarks, simple drivers) get
+// compile-once behaviour without managing a World themselves. Config is a
+// comparable value type, so the lookup is a single struct compare.
+var lastWorld atomic.Pointer[World]
+
 // RunTrial executes one independent trial (trial index t under cfg.Seed).
-// Identical (cfg, t) pairs produce identical results.
+// Identical (cfg, t) pairs produce identical results. This is a thin
+// wrapper over Compile + World.RunTrial; use those directly to amortize
+// compilation across many trials of many configurations.
 func RunTrial(cfg Config, t uint64) (Result, error) {
-	if err := cfg.validate(); err != nil {
-		return Result{}, err
-	}
-	src := xrand.NewSource(cfg.Seed)
-	placeRNG := src.Split(1).Stream(t)
-	reqRNG := src.Split(2).Stream(t)
-
-	g := grid.New(cfg.Side, cfg.Topology)
-	pop := cfg.Popularity.Build(cfg.K)
-	placeProfile := replication.PlacementProfile(pop, cfg.PlacementPolicy, cfg.CapFactor)
-	placement := cache.Place(g.N(), cfg.M, placeProfile, cfg.PlacementMode, placeRNG)
-	strat := buildStrategy(cfg, g, placement)
-
-	// Request-stream file sampler per miss policy.
-	fileSampler := pop
-	if cfg.MissPolicy == MissResample && placement.UncachedCount() > 0 {
-		w := make([]float64, cfg.K)
-		for _, j := range placement.CachedFiles() {
-			w[j] = pop.P(int(j))
+	w := lastWorld.Load()
+	if w == nil || w.cfg != cfg {
+		var err error
+		if w, err = Compile(cfg); err != nil {
+			return Result{}, err
 		}
-		fileSampler = dist.NewCustom(w, pop.Name()+"|cached")
+		lastWorld.Store(w)
 	}
-
-	nReq := cfg.Requests
-	if nReq == 0 {
-		nReq = g.N()
-	}
-	loads := ballsbins.NewLoads(g.N())
-	res := Result{Requests: nReq, Uncached: placement.UncachedCount()}
-	var links *routing.LinkLoads
-	if cfg.CollectLinks {
-		links = routing.NewLinkLoads(g)
-	}
-	var hops float64
-	for i := 0; i < nReq; i++ {
-		req := core.Request{
-			Origin: int32(reqRNG.IntN(g.N())),
-			File:   int32(fileSampler.Sample(reqRNG)),
-		}
-		a := strat.Assign(req, loads, reqRNG)
-		loads.Add(int(a.Server))
-		hops += float64(a.Hops)
-		if a.Escalated {
-			res.Escalated++
-		}
-		if a.Backhaul {
-			res.Backhaul++
-		}
-		if links != nil {
-			links.Route(int(req.Origin), int(a.Server))
-		}
-	}
-	if links != nil {
-		res.MaxLinkLoad = links.Max()
-		res.LinkCongestion = links.CongestionFactor()
-	}
-	res.MaxLoad = loads.Max()
-	if nReq > 0 {
-		res.MeanCost = hops / float64(nReq)
-	}
-	return res, nil
+	return w.RunTrial(t), nil
 }
 
 // buildStrategy materializes cfg.Strategy over a concrete world.

@@ -345,6 +345,60 @@ func TestRunSeries(t *testing.T) {
 	}
 }
 
+func TestRunSeriesMatchesRun(t *testing.T) {
+	// The shared-pool series scheduler must reproduce per-point Run
+	// exactly: same block partition, same merge order, any interleaving.
+	cfgs := make([]Config, 0, 6)
+	for _, m := range []int{1, 2, 4} {
+		for _, kind := range []StrategyKind{Nearest, TwoChoices} {
+			c := baseConfig()
+			c.M = m
+			c.Strategy = StrategySpec{Kind: kind, Radius: 4}
+			cfgs = append(cfgs, c)
+		}
+	}
+	const trials, workers = 7, 3
+	series, err := RunSeries(cfgs, trials, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		want, err := Run(cfg, trials, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if series[i] != want {
+			t.Fatalf("point %d: series %+v != run %+v", i, series[i], want)
+		}
+	}
+}
+
+// TestRunSeriesConfigParallelism exercises config-level parallelism with
+// more workers than any single point's trials; run under -race (CI does)
+// to validate that Worlds are shared safely across workers while Runners
+// stay worker-local.
+func TestRunSeriesConfigParallelism(t *testing.T) {
+	cfgs := make([]Config, 8)
+	for i := range cfgs {
+		cfgs[i] = baseConfig()
+		cfgs[i].Seed = uint64(100 + i)
+		cfgs[i].Strategy = StrategySpec{Kind: TwoChoices, Radius: 5}
+	}
+	a, err := RunSeries(cfgs, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSeries(cfgs, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfgs {
+		if a[i].Trials != 2 || a[i] != b[i] {
+			t.Fatalf("point %d: worker count changed series results: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
 func BenchmarkTrialNearestN2025(b *testing.B) {
 	cfg := Config{Side: 45, K: 100, M: 10, Seed: 1}
 	b.ReportAllocs()

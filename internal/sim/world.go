@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/ballsbins"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/grid"
+	"repro/internal/replication"
+	"repro/internal/routing"
+	"repro/internal/xrand"
+)
+
+// World is one compiled simulation configuration: everything that is
+// invariant across trials — the lattice, the popularity profile and its
+// alias table, the placement profile, the ball/ring offset templates and
+// the derived RNG sources — built exactly once by Compile. A World is
+// immutable and safe for concurrent use; per-trial mutable state lives in
+// Runners.
+//
+// Compiling amortizes the expensive trial-invariant setup (the Zipf PMF
+// alone is K pow() calls) across the hundreds-to-thousands of trials every
+// experiment point runs, which is where the simulator spends its life.
+type World struct {
+	cfg          Config
+	g            *grid.Grid
+	pop          dist.Popularity
+	placeProfile dist.Popularity
+	placeSrc     xrand.Source // namespace 1: placement streams, one per trial
+	reqSrc       xrand.Source // namespace 2: request streams, one per trial
+	nReq         int
+
+	runners sync.Pool // *Runner recycling for the RunTrial convenience path
+}
+
+// Compile validates cfg and builds its trial-invariant state.
+func Compile(cfg Config) (*World, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	src := xrand.NewSource(cfg.Seed)
+	w := &World{
+		cfg:      cfg,
+		g:        grid.New(cfg.Side, cfg.Topology),
+		placeSrc: src.Split(1),
+		reqSrc:   src.Split(2),
+	}
+	w.pop = cfg.Popularity.Build(cfg.K)
+	w.placeProfile = replication.PlacementProfile(w.pop, cfg.PlacementPolicy, cfg.CapFactor)
+	w.nReq = cfg.Requests
+	if w.nReq == 0 {
+		w.nReq = w.g.N()
+	}
+	return w, nil
+}
+
+// Config returns the configuration the world was compiled from.
+func (w *World) Config() Config { return w.cfg }
+
+// Grid returns the compiled lattice.
+func (w *World) Grid() *grid.Grid { return w.g }
+
+// N returns the number of servers.
+func (w *World) N() int { return w.g.N() }
+
+// RunTrial executes one independent trial (trial index t under cfg.Seed).
+// Identical (cfg, t) pairs produce identical results regardless of whether
+// they run through a fresh world, a reused Runner, or the package-level
+// RunTrial. Safe for concurrent use; runners are pooled internally.
+func (w *World) RunTrial(t uint64) Result {
+	r, _ := w.runners.Get().(*Runner)
+	if r == nil {
+		r = w.NewRunner()
+	}
+	res := r.RunTrial(t)
+	w.runners.Put(r)
+	return res
+}
+
+// Runner executes trials of one World through reusable per-worker scratch:
+// the placement builder, the load vector, the strategy instance with its
+// candidate buffers, and the miss-policy conditioning weights. A Runner is
+// NOT safe for concurrent use; create one per worker.
+type Runner struct {
+	w       *World
+	placer  *cache.Placer
+	loads   *ballsbins.Loads
+	strat   core.Strategy
+	links   *routing.LinkLoads
+	weights []float64
+}
+
+// NewRunner returns a fresh Runner over w.
+func (w *World) NewRunner() *Runner {
+	return &Runner{
+		w:      w,
+		placer: cache.NewPlacer(w.g.N(), w.cfg.M, w.cfg.K),
+		loads:  ballsbins.NewLoads(w.g.N()),
+	}
+}
+
+// strategy returns the per-runner strategy instance bound to p, rebinding
+// the existing instance when the strategy supports it (all built-ins do).
+func (r *Runner) strategy(p *cache.Placement) core.Strategy {
+	if r.strat == nil {
+		r.strat = buildStrategy(r.w.cfg, r.w.g, p)
+		return r.strat
+	}
+	if rb, ok := r.strat.(core.Rebindable); ok {
+		rb.Rebind(p)
+		return r.strat
+	}
+	return buildStrategy(r.w.cfg, r.w.g, p)
+}
+
+// fileSampler returns the request-stream file distribution for this
+// trial's placement under the configured miss policy.
+func (r *Runner) fileSampler(p *cache.Placement) dist.Popularity {
+	w := r.w
+	if w.cfg.MissPolicy != MissResample || p.UncachedCount() == 0 {
+		return w.pop
+	}
+	// Condition the stream on files cached somewhere in the network.
+	if r.weights == nil {
+		r.weights = make([]float64, w.cfg.K)
+	} else {
+		clear(r.weights)
+	}
+	for _, j := range p.CachedFiles() {
+		r.weights[j] = w.pop.P(int(j))
+	}
+	return dist.NewCustom(r.weights, w.pop.Name()+"|cached")
+}
+
+// RunTrial executes one independent trial. Identical (cfg, t) pairs
+// produce identical results; the reused scratch never leaks state between
+// trials (pinned by the cross-implementation golden tests).
+func (r *Runner) RunTrial(t uint64) Result {
+	w := r.w
+	placeRNG := w.placeSrc.Stream(t)
+	reqRNG := w.reqSrc.Stream(t)
+
+	placement := r.placer.Place(w.placeProfile, w.cfg.PlacementMode, placeRNG)
+	strat := r.strategy(placement)
+	fileSampler := r.fileSampler(placement)
+
+	n := w.g.N()
+	r.loads.Reset()
+	res := Result{Requests: w.nReq, Uncached: placement.UncachedCount()}
+	var links *routing.LinkLoads
+	if w.cfg.CollectLinks {
+		if r.links == nil {
+			r.links = routing.NewLinkLoads(w.g)
+		} else {
+			r.links.Reset()
+		}
+		links = r.links
+	}
+	var hops float64
+	for i := 0; i < w.nReq; i++ {
+		req := core.Request{
+			Origin: int32(reqRNG.IntN(n)),
+			File:   int32(fileSampler.Sample(reqRNG)),
+		}
+		a := strat.Assign(req, r.loads, reqRNG)
+		r.loads.Add(int(a.Server))
+		hops += float64(a.Hops)
+		if a.Escalated {
+			res.Escalated++
+		}
+		if a.Backhaul {
+			res.Backhaul++
+		}
+		if links != nil {
+			links.Route(int(req.Origin), int(a.Server))
+		}
+	}
+	if links != nil {
+		res.MaxLinkLoad = links.Max()
+		res.LinkCongestion = links.CongestionFactor()
+	}
+	res.MaxLoad = r.loads.Max()
+	if w.nReq > 0 {
+		res.MeanCost = hops / float64(w.nReq)
+	}
+	return res
+}

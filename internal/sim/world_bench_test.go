@@ -1,0 +1,55 @@
+package sim
+
+import "testing"
+
+// paperScaleCfg is the acceptance-benchmark point for the compiled-world
+// layer: n = 4900 servers, K = 10^4 files, Zipf γ = 1.2, two-choices r = 8.
+func paperScaleCfg() Config {
+	return Config{
+		Side: 70, K: 10000, M: 10, Seed: 1,
+		Popularity: PopSpec{Kind: PopZipf, Gamma: 1.2},
+		Strategy:   StrategySpec{Kind: TwoChoices, Radius: 8},
+	}
+}
+
+// BenchmarkRunTrial measures one end-to-end trial through the public
+// RunTrial wrapper at the paper-scale point (compile-once world memoized
+// behind the wrapper, runner pooled).
+func BenchmarkRunTrial(b *testing.B) {
+	cfg := paperScaleCfg()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunTrial(cfg, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorldRunTrial measures the same trial on an explicit compiled
+// World with a dedicated reused Runner — the exact per-worker path of
+// Run/RunSeries, with zero steady-state allocations.
+func BenchmarkWorldRunTrial(b *testing.B) {
+	w, err := Compile(paperScaleCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := w.NewRunner()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.RunTrial(uint64(i))
+	}
+}
+
+// BenchmarkCompile measures the trial-invariant setup the World layer
+// amortizes (grid + coordinate tables, Zipf PMF + alias table, placement
+// profile, RNG sources).
+func BenchmarkCompile(b *testing.B) {
+	cfg := paperScaleCfg()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -203,12 +203,35 @@ const (
 	MissOrigin = sim.MissOrigin
 )
 
+// Compiled simulation worlds (the engine's hot path).
+type (
+	// World is a compiled, trial-invariant simulation configuration:
+	// grid, popularity profile, placement profile and sampling templates
+	// built once and shared by every trial. Immutable and safe for
+	// concurrent use.
+	World = sim.World
+	// Runner executes trials of one World through reusable per-worker
+	// scratch. Not safe for concurrent use; create one per worker.
+	Runner = sim.Runner
+)
+
+// Compile validates cfg and builds its trial-invariant state once. Use
+// World.RunTrial / World.NewRunner to execute trials against it.
+func Compile(cfg Config) (*World, error) { return sim.Compile(cfg) }
+
 // RunTrial executes one deterministic simulation trial.
 func RunTrial(cfg Config, trial uint64) (Result, error) { return sim.RunTrial(cfg, trial) }
 
 // Run executes trials in parallel and aggregates (workers ≤ 0 uses
 // GOMAXPROCS); results are independent of the worker count.
 func Run(cfg Config, trials, workers int) (Aggregate, error) { return sim.Run(cfg, trials, workers) }
+
+// RunSeries executes Run over a slice of configs (one experiment curve),
+// fanning configurations and trials out across one shared worker pool.
+// Results are in input order, bit-identical to per-point Run.
+func RunSeries(cfgs []Config, trials, workers int) ([]Aggregate, error) {
+	return sim.RunSeries(cfgs, trials, workers)
+}
 
 // Queueing extension (§VI conjecture).
 type (
