@@ -1,0 +1,29 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+func main() {
+	// Skewed Zipf + small radius: popular files have |S_j| >> |B_r|,
+	// which drives the new ball-side rejection sampler on HEAD.
+	cfgs := []sim.Config{
+		{Side: 15, K: 10, M: 5, Seed: 7,
+			Popularity: sim.PopSpec{Kind: sim.PopZipf, Gamma: 2.0},
+			Strategy:   sim.StrategySpec{Kind: sim.TwoChoices, Radius: 2}},
+		{Side: 30, K: 100, M: 10, Seed: 9,
+			Popularity: sim.PopSpec{Kind: sim.PopZipf, Gamma: 1.5},
+			Strategy:   sim.StrategySpec{Kind: sim.TwoChoices, Radius: 3}},
+	}
+	for _, cfg := range cfgs {
+		for t := uint64(0); t < 3; t++ {
+			r, err := sim.RunTrial(cfg, t)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("L=%d C=%v esc=%d bh=%d\n", r.MaxLoad, r.MeanCost, r.Escalated, r.Backhaul)
+		}
+	}
+}
