@@ -5,6 +5,12 @@
 //
 //	cachesim -side 45 -k 500 -m 10 -strategy two-choices -radius 8 -trials 100
 //	cachesim -side 45 -k 2000 -m 1 -strategy nearest -gamma 0.8 -trials 50
+//
+// Wide worlds (n = 10⁶ servers) at flat memory — streaming metrics plus
+// the batched split-stream request discipline:
+//
+//	cachesim -side 1000 -k 10000 -m 10 -strategy two-choices -radius 40 \
+//	    -metrics streaming -streams split -trials 4
 package main
 
 import (
@@ -28,13 +34,15 @@ func main() {
 		choices  = flag.Int("choices", 2, "number of sampled candidates d")
 		requests = flag.Int("requests", 0, "requests per trial (0 = n)")
 		miss     = flag.String("miss", "resample", "miss policy: resample, escalate or origin")
+		metrics  = flag.String("metrics", "scalar", "per-trial instrumentation: scalar, links or streaming")
+		streams  = flag.String("streams", "interleaved", "request RNG discipline: interleaved or split (batched generation)")
 		trials   = flag.Int("trials", 50, "independent trials")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		seed     = flag.Uint64("seed", 2017, "root random seed")
 	)
 	flag.Parse()
 
-	cfg, err := buildConfig(*side, *topo, *k, *m, *gamma, *strategy, *radius, *choices, *requests, *miss, *seed)
+	cfg, err := buildConfig(*side, *topo, *k, *m, *gamma, *strategy, *radius, *choices, *requests, *miss, *metrics, *streams, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cachesim:", err)
 		os.Exit(2)
@@ -50,19 +58,35 @@ func main() {
 	fmt.Printf("comm cost: %s hops\n", agg.MeanCost.String())
 	fmt.Printf("escalated: %.4f of requests; backhaul: %.4f; uncached files/trial: %.1f\n",
 		agg.Escalated.Mean(), agg.Backhaul.Mean(), agg.Uncached.Mean())
+	switch cfg.Metrics {
+	case repro.MetricsLinks:
+		fmt.Printf("link load:  max %s, congestion %s\n",
+			agg.MaxLinkLoad.String(), agg.LinkCongestion.String())
+	case repro.MetricsStreaming:
+		fmt.Printf("hops:      max %s, std %s (streaming)\n", agg.HopMax.String(), agg.HopStd.String())
+		fmt.Printf("load p99:  %s\n", agg.LoadP99.String())
+	}
 }
 
 // buildConfig translates CLI flags into a sim configuration.
 func buildConfig(side int, topo string, k, m int, gamma float64, strategy string,
-	radius, choices, requests int, miss string, seed uint64) (repro.Config, error) {
+	radius, choices, requests int, miss, metrics, streams string, seed uint64) (repro.Config, error) {
 	var cfg repro.Config
 	tp, err := grid.ParseTopology(topo)
 	if err != nil {
 		return cfg, err
 	}
+	mm, err := repro.ParseMetricsMode(metrics)
+	if err != nil {
+		return cfg, err
+	}
+	sd, err := repro.ParseStreams(streams)
+	if err != nil {
+		return cfg, err
+	}
 	cfg = repro.Config{
 		Side: side, Topology: tp, K: k, M: m,
-		Requests: requests, Seed: seed,
+		Requests: requests, Metrics: mm, Streams: sd, Seed: seed,
 	}
 	if gamma > 0 {
 		cfg.Popularity = repro.PopSpec{Kind: repro.PopZipf, Gamma: gamma}

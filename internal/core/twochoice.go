@@ -48,6 +48,7 @@ type TwoChoice struct {
 	ball    *grid.BallTable // precomputed B_r template (nil when inapplicable)
 	ballBuf []int32
 	candBuf []int32
+	seenBuf []int32 // distinct-candidate scratch (WithoutReplacement)
 }
 
 // NewTwoChoice builds Strategy II. It panics on nonsensical configuration
@@ -244,7 +245,7 @@ func (s *TwoChoice) pickFromPool(pool []int32, d int, loads *ballsbins.Loads, r 
 		}
 		// Partial Fisher–Yates over indices via a small map-free trick:
 		// for d ≪ |pool| rejection on a tiny set is cheapest.
-		seen := make([]int32, 0, d)
+		seen := s.seenBuf[:0]
 	draw:
 		for len(seen) < d {
 			v := pool[r.IntN(len(pool))]
@@ -256,6 +257,7 @@ func (s *TwoChoice) pickFromPool(pool []int32, d int, loads *ballsbins.Loads, r 
 			seen = append(seen, v)
 			best, ties = s.foldCandidate(best, ties, v, loads, r)
 		}
+		s.seenBuf = seen
 		return best
 	}
 	for i := 0; i < d; i++ {

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"fmt"
 	"math/rand/v2"
 )
 
@@ -23,18 +24,25 @@ type Alias struct {
 // normalized; it is copied, so the caller may reuse the slice.
 func NewAlias(probs []float64) *Alias {
 	n := len(probs)
+	a := &Alias{prob: make([]float64, n), alias: make([]int32, n)}
+	fillAlias(a, probs, make([]float64, n), make([]int32, 0, n), make([]int32, 0, n))
+	return a
+}
+
+// fillAlias runs Vose's construction into a's (pre-sized) tables using the
+// provided scratch. It is the single construction path shared by NewAlias
+// and AliasBuilder, so arena-built and freshly allocated tables are bit
+// identical — same summation order, same scaling, same worklist order.
+func fillAlias(a *Alias, probs []float64, scaled []float64, small, large []int32) {
+	n := len(probs)
 	sum := validWeightSum("NewAlias", probs)
 
-	a := &Alias{prob: make([]float64, n), alias: make([]int32, n)}
 	// Scale so the mean column height is exactly 1.
-	scaled := make([]float64, n)
 	scale := float64(n) / sum
 	for i, p := range probs {
 		scaled[i] = p * scale
 	}
 
-	small := make([]int32, 0, n)
-	large := make([]int32, 0, n)
 	for i := n - 1; i >= 0; i-- {
 		if scaled[i] < 1 {
 			small = append(small, int32(i))
@@ -65,7 +73,48 @@ func NewAlias(probs []float64) *Alias {
 		a.prob[i] = 1
 		a.alias[i] = i
 	}
-	return a
+}
+
+// AliasBuilder rebuilds alias tables of a fixed support size into
+// preallocated arenas. Build produces tables bit-identical to NewAlias with
+// zero allocations, so hot paths that recondition a distribution every
+// trial (the MissResample request stream) can rebuild instead of
+// reallocate. Each Build overwrites the previously returned table, so at
+// most one table per builder may be live at a time. Not safe for
+// concurrent use.
+type AliasBuilder struct {
+	out          Alias
+	scaled       []float64
+	small, large []int32
+}
+
+// NewAliasBuilder returns a builder for k-column tables. It panics if
+// k <= 0.
+func NewAliasBuilder(k int) *AliasBuilder {
+	if k <= 0 {
+		panic(fmt.Sprintf("dist: NewAliasBuilder needs k > 0, got %d", k))
+	}
+	return &AliasBuilder{
+		out:    Alias{prob: make([]float64, k), alias: make([]int32, k)},
+		scaled: make([]float64, k),
+		small:  make([]int32, 0, k),
+		large:  make([]int32, 0, k),
+	}
+}
+
+// K returns the support size the builder was sized for.
+func (b *AliasBuilder) K() int { return len(b.out.prob) }
+
+// Build constructs the table for probs (same contract as NewAlias) into
+// the builder's arenas and returns it. The returned table aliases the
+// builder's memory: the next Build invalidates it. It panics if len(probs)
+// differs from the builder's size.
+func (b *AliasBuilder) Build(probs []float64) *Alias {
+	if len(probs) != len(b.out.prob) {
+		panic(fmt.Sprintf("dist: AliasBuilder sized for k=%d, got %d weights", len(b.out.prob), len(probs)))
+	}
+	fillAlias(&b.out, probs, b.scaled, b.small[:0], b.large[:0])
+	return &b.out
 }
 
 // K returns the support size.

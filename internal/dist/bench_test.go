@@ -87,3 +87,52 @@ func BenchmarkUniformSampleBatch(b *testing.B) {
 		u.SampleBatch(r, dst)
 	}
 }
+
+// BenchmarkNewAlias is the per-trial cost the conditioned request stream
+// used to pay: a fresh table over the full library.
+func BenchmarkNewAlias(b *testing.B) {
+	pmf := NewZipf(benchK, 1.2).PMF()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewAlias(pmf)
+	}
+}
+
+// BenchmarkAliasBuilderBuild is the arena rebuild that replaces it:
+// identical table bits, zero allocations.
+func BenchmarkAliasBuilderBuild(b *testing.B) {
+	pmf := NewZipf(benchK, 1.2).PMF()
+	ab := NewAliasBuilder(benchK)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ab.Build(pmf)
+	}
+}
+
+// BenchmarkCustomBuilderBuild is the full conditioned-profile rebuild
+// (normalize + alias) the MissResample path runs per trial.
+func BenchmarkCustomBuilderBuild(b *testing.B) {
+	w := NewZipf(benchK, 1.2).PMF()
+	cb := NewCustomBuilder(benchK)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cb.Build(w, "bench")
+	}
+}
+
+// BenchmarkRequestBatch measures one pipeline chunk of two-stream request
+// generation (1024 requests per call, Zipf files).
+func BenchmarkRequestBatch(b *testing.B) {
+	pop := NewZipf(benchK, 1.2)
+	or := xrand.NewSource(1).Stream(0)
+	fr := xrand.NewSource(1).Stream(1)
+	origins, files := make([]int32, 1024), make([]int32, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RequestBatch(or, fr, 4900, pop, origins, files)
+	}
+}

@@ -206,6 +206,51 @@ func (c *Custom) SampleBatch(r *rand.Rand, dst []int32) { c.alias.SampleBatch(r,
 // Name implements Popularity.
 func (c *Custom) Name() string { return c.name }
 
+// CustomBuilder rebuilds Custom profiles of a fixed library size into
+// preallocated arenas: Build is NewCustom with zero allocations and a bit
+// identical result (same normalization order, same alias construction via
+// AliasBuilder). The simulation engine uses one per worker to recondition
+// the MissResample request stream every trial without reallocating the
+// ~K-sized tables. Each Build overwrites the previously returned profile,
+// so at most one profile per builder may be live at a time. Not safe for
+// concurrent use.
+type CustomBuilder struct {
+	c  Custom
+	ab *AliasBuilder
+}
+
+// NewCustomBuilder returns a builder for profiles over k files. It panics
+// if k <= 0.
+func NewCustomBuilder(k int) *CustomBuilder {
+	if k <= 0 {
+		panic(fmt.Sprintf("dist: NewCustomBuilder needs k > 0, got %d", k))
+	}
+	return &CustomBuilder{
+		c:  Custom{pmf: make([]float64, k)},
+		ab: NewAliasBuilder(k),
+	}
+}
+
+// K returns the library size the builder was sized for.
+func (b *CustomBuilder) K() int { return len(b.c.pmf) }
+
+// Build constructs the profile proportional to weights (same contract as
+// NewCustom) into the builder's arenas and returns it. The returned
+// profile aliases the builder's memory: the next Build invalidates it. It
+// panics if len(weights) differs from the builder's size.
+func (b *CustomBuilder) Build(weights []float64, name string) *Custom {
+	if len(weights) != len(b.c.pmf) {
+		panic(fmt.Sprintf("dist: CustomBuilder sized for k=%d, got %d weights", len(b.c.pmf), len(weights)))
+	}
+	sum := validWeightSum("NewCustom", weights)
+	for i, w := range weights {
+		b.c.pmf[i] = w / sum
+	}
+	b.c.alias = b.ab.Build(b.c.pmf)
+	b.c.name = name
+	return &b.c
+}
+
 // validWeightSum enforces the shared weight contract of every
 // constructor that consumes raw weights (NewCustom, NewAlias, NewCDF):
 // non-empty, every entry non-negative and finite, positive total. It

@@ -1,0 +1,35 @@
+package dist
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// RequestBatch fills one block of the request process in a single call:
+// origins[i] is a uniform draw over [0, originN) from originRNG and
+// files[i] a draw from pop using fileRNG. The two generators are the two
+// independent request streams of the simulation engine's split-stream
+// discipline (one for origins, one for file ids).
+//
+// Each stream is consumed exactly as the same number of sequential
+// per-request draws would consume it — origins by repeated IntN, files by
+// repeated Sample (see BatchSampler) — so partitioning a trial's request
+// block into chunks of any size yields bit-identical ids. This is the same
+// property-test discipline as SampleBatch; the batch form exists to keep
+// the alias table hot in cache and to hoist the per-draw interface
+// dispatch out of the request loop.
+//
+// It panics if the two destination slices differ in length or originN is
+// not positive.
+func RequestBatch(originRNG, fileRNG *rand.Rand, originN int, pop Popularity, origins, files []int32) {
+	if len(origins) != len(files) {
+		panic(fmt.Sprintf("dist: RequestBatch needs matched slices, got %d origins / %d files", len(origins), len(files)))
+	}
+	if originN <= 0 {
+		panic(fmt.Sprintf("dist: RequestBatch needs originN > 0, got %d", originN))
+	}
+	for i := range origins {
+		origins[i] = int32(originRNG.IntN(originN))
+	}
+	SampleBatch(pop, fileRNG, files)
+}

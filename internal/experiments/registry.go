@@ -30,6 +30,7 @@ var registry = map[string]Runner{
 	"beta-choice":      BetaChoice,
 	"directory":        DirectoryOverhead,
 	"drift":            PopularityDrift,
+	"widegrid":         WideGrid,
 }
 
 // IDs returns all experiment identifiers, sorted.

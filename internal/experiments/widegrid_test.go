@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+func TestWideGridTiny(t *testing.T) {
+	tb, err := WideGrid(tinyOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb)
+	if len(tb.Series) != 2 {
+		t.Fatalf("widegrid should have 2 strategy curves, got %d", len(tb.Series))
+	}
+	// Streaming extras must actually flow through the aggregate.
+	for _, s := range tb.Series {
+		for _, p := range s.Points {
+			if p.Extra["hopmax"] <= 0 || p.Extra["loadp99"] <= 0 {
+				t.Fatalf("widegrid %s: streaming extras missing at n=%v: %+v", s.Name, p.X, p.Extra)
+			}
+		}
+	}
+	// Two choices balances at least as well as nearest at the widest pilot
+	// world (generous slack: tiny trial counts).
+	i, ii := tb.Series[0], tb.Series[1]
+	if ii.Points[len(ii.Points)-1].Y > i.Points[len(i.Points)-1].Y+1 {
+		t.Fatalf("widegrid: strategy II load %.2f above strategy I %.2f",
+			ii.Points[len(ii.Points)-1].Y, i.Points[len(i.Points)-1].Y)
+	}
+}

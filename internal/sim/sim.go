@@ -121,6 +121,94 @@ func (m MissPolicy) String() string {
 	}
 }
 
+// MetricsMode selects how much per-trial instrumentation a trial carries
+// beyond the Definition 1 scalars (max load L, mean cost C, miss
+// counters), and at what memory cost.
+type MetricsMode int
+
+const (
+	// MetricsScalar reports only the Definition 1 scalars. Default.
+	MetricsScalar MetricsMode = iota
+	// MetricsLinks additionally routes every delivery hop-by-hop (XY
+	// routing) and reports link-congestion metrics. Materializes an O(n)
+	// per-link load vector per runner.
+	MetricsLinks
+	// MetricsStreaming additionally reports per-request hop moments and a
+	// load quantile through constant-memory streaming accumulators
+	// (running max, Welford moments, bounded histogram — see
+	// stats.Accumulator). Never materializes an O(n) metric vector, which
+	// is what keeps 10⁶-node worlds at a flat memory profile.
+	MetricsStreaming
+)
+
+// String implements fmt.Stringer.
+func (m MetricsMode) String() string {
+	switch m {
+	case MetricsScalar:
+		return "scalar"
+	case MetricsLinks:
+		return "links"
+	case MetricsStreaming:
+		return "streaming"
+	default:
+		return fmt.Sprintf("MetricsMode(%d)", int(m))
+	}
+}
+
+// ParseMetricsMode converts a CLI name.
+func ParseMetricsMode(s string) (MetricsMode, error) {
+	switch s {
+	case "scalar", "":
+		return MetricsScalar, nil
+	case "links":
+		return MetricsLinks, nil
+	case "streaming":
+		return MetricsStreaming, nil
+	}
+	return 0, fmt.Errorf("sim: unknown metrics mode %q (want scalar, links or streaming)", s)
+}
+
+// Streams selects the request-phase RNG discipline.
+type Streams int
+
+const (
+	// StreamsInterleaved is the legacy discipline: one stream per trial,
+	// consumed request by request — origin and file draws interleaved with
+	// the strategy's candidate sampling and tie breaks. Bit-compatible
+	// with every pre-pipeline golden. Default.
+	StreamsInterleaved Streams = iota
+	// StreamsSplit derives three independent per-trial streams (origins,
+	// files, assignment), decoupling id generation from the strategy's
+	// draws. That makes generation batchable — the engine pre-draws whole
+	// chunks through dist.RequestBatch — and results invariant to the
+	// chunk partition (property-tested). Statistically equivalent to, but
+	// not bit-identical with, StreamsInterleaved.
+	StreamsSplit
+)
+
+// String implements fmt.Stringer.
+func (s Streams) String() string {
+	switch s {
+	case StreamsInterleaved:
+		return "interleaved"
+	case StreamsSplit:
+		return "split"
+	default:
+		return fmt.Sprintf("Streams(%d)", int(s))
+	}
+}
+
+// ParseStreams converts a CLI name.
+func ParseStreams(s string) (Streams, error) {
+	switch s {
+	case "interleaved", "":
+		return StreamsInterleaved, nil
+	case "split":
+		return StreamsSplit, nil
+	}
+	return 0, fmt.Errorf("sim: unknown streams discipline %q (want interleaved or split)", s)
+}
+
 // Config declares one simulated world. The zero value is not runnable; use
 // the documented fields (Side, K, M are mandatory).
 type Config struct {
@@ -147,8 +235,14 @@ type Config struct {
 	Requests int
 	// MissPolicy resolves unservable requests (zero value: MissResample).
 	MissPolicy MissPolicy
-	// CollectLinks additionally routes every delivery hop-by-hop (XY
-	// routing) and reports link-congestion metrics in Result.
+	// Metrics selects the per-trial instrumentation level (zero value:
+	// MetricsScalar; see MetricsMode).
+	Metrics MetricsMode
+	// Streams selects the request-phase RNG discipline (zero value:
+	// StreamsInterleaved; see Streams).
+	Streams Streams
+	// CollectLinks is the pre-Metrics spelling of MetricsLinks, kept for
+	// compatibility: it upgrades MetricsScalar to MetricsLinks.
 	CollectLinks bool
 	// Seed is the deterministic root seed for this configuration.
 	Seed uint64
@@ -167,6 +261,15 @@ func (c Config) validate() error {
 	if c.Requests < 0 {
 		return fmt.Errorf("sim: Requests must be non-negative, got %d", c.Requests)
 	}
+	if c.Metrics < MetricsScalar || c.Metrics > MetricsStreaming {
+		return fmt.Errorf("sim: unknown metrics mode %d", int(c.Metrics))
+	}
+	if c.Streams < StreamsInterleaved || c.Streams > StreamsSplit {
+		return fmt.Errorf("sim: unknown streams discipline %d", int(c.Streams))
+	}
+	if c.CollectLinks && c.Metrics == MetricsStreaming {
+		return fmt.Errorf("sim: CollectLinks materializes per-link loads; it cannot combine with MetricsStreaming")
+	}
 	return nil
 }
 
@@ -179,9 +282,18 @@ type Result struct {
 	Backhaul  int     // requests served from upstream at the origin
 	Uncached  int     // library files with zero replicas in this trial
 
-	// Link metrics, populated only when Config.CollectLinks is set.
+	// Link metrics, populated only in MetricsLinks mode (or the
+	// compatibility Config.CollectLinks spelling).
 	MaxLinkLoad    int64   // traffic on the hottest directed link
 	LinkCongestion float64 // max/mean link load (1 = perfectly even)
+
+	// Streaming metrics, populated only in MetricsStreaming mode:
+	// computed through constant-memory accumulators, never materializing
+	// an O(n) metric vector.
+	Streamed bool    // streaming accumulators ran for this trial
+	HopMax   int     // longest single delivery path (hops)
+	HopStd   float64 // sample std dev of per-request hops
+	LoadP99  int     // 99th-percentile final node load
 }
 
 // lastWorld memoizes the most recently compiled world, so callers that
@@ -242,9 +354,14 @@ type Aggregate struct {
 	Backhaul  stats.Summary // per-trial backhaul fraction
 	Uncached  stats.Summary // per-trial uncached-file count
 
-	// Link metrics (only meaningful when Config.CollectLinks is set).
+	// Link metrics (only meaningful in MetricsLinks mode).
 	MaxLinkLoad    stats.Summary
 	LinkCongestion stats.Summary
+
+	// Streaming metrics (only meaningful in MetricsStreaming mode).
+	HopMax  stats.Summary
+	HopStd  stats.Summary
+	LoadP99 stats.Summary
 }
 
 // Add folds one trial result into the aggregate.
@@ -261,6 +378,11 @@ func (a *Aggregate) Add(r Result) {
 		a.MaxLinkLoad.Add(float64(r.MaxLinkLoad))
 		a.LinkCongestion.Add(r.LinkCongestion)
 	}
+	if r.Streamed {
+		a.HopMax.Add(float64(r.HopMax))
+		a.HopStd.Add(r.HopStd)
+		a.LoadP99.Add(float64(r.LoadP99))
+	}
 }
 
 // Merge folds another aggregate into a (parallel reduction).
@@ -273,6 +395,9 @@ func (a *Aggregate) Merge(o Aggregate) {
 	a.Uncached.Merge(o.Uncached)
 	a.MaxLinkLoad.Merge(o.MaxLinkLoad)
 	a.LinkCongestion.Merge(o.LinkCongestion)
+	a.HopMax.Merge(o.HopMax)
+	a.HopStd.Merge(o.HopStd)
+	a.LoadP99.Merge(o.LoadP99)
 }
 
 // String renders the headline metrics.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math/rand/v2"
 	"sync"
 
 	"repro/internal/ballsbins"
@@ -10,8 +11,22 @@ import (
 	"repro/internal/grid"
 	"repro/internal/replication"
 	"repro/internal/routing"
+	"repro/internal/stats"
 	"repro/internal/xrand"
 )
+
+// defaultChunk is the request-pipeline block size: the number of requests
+// that flow through one generate → assign → account pass. Sized so the
+// per-runner chunk buffers (5 × 4 B × chunk) stay far inside L2 while the
+// per-chunk loop overhead vanishes.
+const defaultChunk = 1024
+
+// loadHistBound is the baseline resolution of the streaming load
+// histogram. The actual bound scales with the mean per-node load (see
+// Compile), so heavy-load configs (Requests ≫ n) keep exact quantiles;
+// observations beyond the bound clamp into the top bucket as a last
+// resort, and the exact maximum is tracked separately and never clamps.
+const loadHistBound = 1 << 10
 
 // World is one compiled simulation configuration: everything that is
 // invariant across trials — the lattice, the popularity profile and its
@@ -28,9 +43,16 @@ type World struct {
 	g            *grid.Grid
 	pop          dist.Popularity
 	placeProfile dist.Popularity
+	condName     string       // name of the MissResample-conditioned stream
 	placeSrc     xrand.Source // namespace 1: placement streams, one per trial
-	reqSrc       xrand.Source // namespace 2: request streams, one per trial
+	reqSrc       xrand.Source // namespace 2: interleaved request streams
+	originSrc    xrand.Source // namespace 3: split-discipline origin streams
+	fileSrc      xrand.Source // namespace 4: split-discipline file streams
+	assignSrc    xrand.Source // namespace 5: split-discipline assignment streams
 	nReq         int
+	metrics      MetricsMode // resolved (CollectLinks folded in)
+	chunk        int         // request-pipeline block size (tests override)
+	loadBound    int         // streaming load-histogram bound
 
 	runners sync.Pool // *Runner recycling for the RunTrial convenience path
 }
@@ -42,17 +64,31 @@ func Compile(cfg Config) (*World, error) {
 	}
 	src := xrand.NewSource(cfg.Seed)
 	w := &World{
-		cfg:      cfg,
-		g:        grid.New(cfg.Side, cfg.Topology),
-		placeSrc: src.Split(1),
-		reqSrc:   src.Split(2),
+		cfg:       cfg,
+		g:         grid.New(cfg.Side, cfg.Topology),
+		placeSrc:  src.Split(1),
+		reqSrc:    src.Split(2),
+		originSrc: src.Split(3),
+		fileSrc:   src.Split(4),
+		assignSrc: src.Split(5),
+		metrics:   cfg.Metrics,
+		chunk:     defaultChunk,
+	}
+	if w.metrics == MetricsScalar && cfg.CollectLinks {
+		w.metrics = MetricsLinks
 	}
 	w.pop = cfg.Popularity.Build(cfg.K)
+	w.condName = w.pop.Name() + "|cached"
 	w.placeProfile = replication.PlacementProfile(w.pop, cfg.PlacementPolicy, cfg.CapFactor)
 	w.nReq = cfg.Requests
 	if w.nReq == 0 {
 		w.nReq = w.g.N()
 	}
+	// Size the streaming load histogram to the regime: 32× the mean
+	// per-node load on top of the baseline keeps quantiles exact far past
+	// any max-load concentration bound, while staying O(Requests/n) —
+	// constant in n for the paper's one-request-per-server regime.
+	w.loadBound = loadHistBound + 32*((w.nReq+w.g.N()-1)/w.g.N())
 	return w, nil
 }
 
@@ -79,10 +115,53 @@ func (w *World) RunTrial(t uint64) Result {
 	return res
 }
 
+// reseedRand is a reusable deterministic generator: one PCG wrapped by one
+// *rand.Rand for the runner's lifetime, reseeded per trial through
+// xrand.Source.StreamSeed. Reseeding in place yields sequences
+// bit-identical to a freshly constructed xrand Stream while allocating
+// nothing, which is what makes steady-state trials allocation-free.
+type reseedRand struct {
+	pcg rand.PCG
+	r   *rand.Rand
+}
+
+// stream reseeds the generator to source s, stream t and returns it.
+func (rr *reseedRand) stream(s xrand.Source, t uint64) *rand.Rand {
+	if rr.r == nil {
+		rr.r = rand.New(&rr.pcg)
+	}
+	rr.pcg.Seed(s.StreamSeed(t))
+	return rr.r
+}
+
+// Request-record flags carried from the assign phase to the account phase.
+const (
+	flagEscalated = 1 << 0
+	flagBackhaul  = 1 << 1
+)
+
 // Runner executes trials of one World through reusable per-worker scratch:
 // the placement builder, the load vector, the strategy instance with its
-// candidate buffers, and the miss-policy conditioning weights. A Runner is
-// NOT safe for concurrent use; create one per worker.
+// candidate buffers, the miss-policy conditioning arenas, the per-trial
+// generators and the request-pipeline chunk buffers. After the first trial
+// a Runner's steady state allocates nothing. A Runner is NOT safe for
+// concurrent use; create one per worker.
+//
+// A trial's request phase is a streaming pipeline over fixed-size chunks:
+//
+//	generate — draw (origin, file) ids into the chunk buffers;
+//	assign   — run the strategy per request, updating the load vector and
+//	           recording (server, hops, flags);
+//	account  — fold the chunk's records into the trial accumulators
+//	           (hop sum, miss counters, link loads or streaming moments).
+//
+// Under the default StreamsInterleaved discipline the generate and assign
+// phases are fused into one pass: every strategy draws from the same
+// per-trial stream as the id generation (candidate sampling, tie breaks),
+// so separating them would reorder RNG consumption and break
+// bit-compatibility with the pinned goldens. StreamsSplit gives each role
+// its own stream, which is what lets generate run as one batched
+// dist.RequestBatch call per chunk.
 type Runner struct {
 	w       *World
 	placer  *cache.Placer
@@ -90,14 +169,34 @@ type Runner struct {
 	strat   core.Strategy
 	links   *routing.LinkLoads
 	weights []float64
+	cond    *dist.CustomBuilder
+
+	place, req, origin, file, assign reseedRand
+
+	// Chunk buffers of the request pipeline (len = min(chunk, requests)).
+	origins []int32
+	files   []int32
+	servers []int32
+	hops    []int32
+	flags   []uint8
+
+	// Streaming-metrics accumulators (MetricsStreaming only).
+	hopAcc  *stats.Accumulator
+	loadAcc *stats.Accumulator
 }
 
 // NewRunner returns a fresh Runner over w.
 func (w *World) NewRunner() *Runner {
+	b := min(w.chunk, w.nReq)
 	return &Runner{
-		w:      w,
-		placer: cache.NewPlacer(w.g.N(), w.cfg.M, w.cfg.K),
-		loads:  ballsbins.NewLoads(w.g.N()),
+		w:       w,
+		placer:  cache.NewPlacer(w.g.N(), w.cfg.M, w.cfg.K),
+		loads:   ballsbins.NewLoads(w.g.N()),
+		origins: make([]int32, b),
+		files:   make([]int32, b),
+		servers: make([]int32, b),
+		hops:    make([]int32, b),
+		flags:   make([]uint8, b),
 	}
 }
 
@@ -116,7 +215,10 @@ func (r *Runner) strategy(p *cache.Placement) core.Strategy {
 }
 
 // fileSampler returns the request-stream file distribution for this
-// trial's placement under the configured miss policy.
+// trial's placement under the configured miss policy. The conditioned
+// MissResample stream is rebuilt into the runner's arenas (weights +
+// CustomBuilder), so reconditioning allocates nothing after the first
+// trial while sampling bit-identically to a fresh dist.NewCustom.
 func (r *Runner) fileSampler(p *cache.Placement) dist.Popularity {
 	w := r.w
 	if w.cfg.MissPolicy != MissResample || p.UncachedCount() == 0 {
@@ -125,13 +227,21 @@ func (r *Runner) fileSampler(p *cache.Placement) dist.Popularity {
 	// Condition the stream on files cached somewhere in the network.
 	if r.weights == nil {
 		r.weights = make([]float64, w.cfg.K)
+		r.cond = dist.NewCustomBuilder(w.cfg.K)
 	} else {
 		clear(r.weights)
 	}
 	for _, j := range p.CachedFiles() {
 		r.weights[j] = w.pop.P(int(j))
 	}
-	return dist.NewCustom(r.weights, w.pop.Name()+"|cached")
+	return r.cond.Build(r.weights, w.condName)
+}
+
+// acct carries the scalar trial accumulators between account passes.
+type acct struct {
+	hops      float64
+	escalated int
+	backhaul  int
 }
 
 // RunTrial executes one independent trial. Identical (cfg, t) pairs
@@ -139,10 +249,7 @@ func (r *Runner) fileSampler(p *cache.Placement) dist.Popularity {
 // trials (pinned by the cross-implementation golden tests).
 func (r *Runner) RunTrial(t uint64) Result {
 	w := r.w
-	placeRNG := w.placeSrc.Stream(t)
-	reqRNG := w.reqSrc.Stream(t)
-
-	placement := r.placer.Place(w.placeProfile, w.cfg.PlacementMode, placeRNG)
+	placement := r.placer.Place(w.placeProfile, w.cfg.PlacementMode, r.place.stream(w.placeSrc, t))
 	strat := r.strategy(placement)
 	fileSampler := r.fileSampler(placement)
 
@@ -150,40 +257,133 @@ func (r *Runner) RunTrial(t uint64) Result {
 	r.loads.Reset()
 	res := Result{Requests: w.nReq, Uncached: placement.UncachedCount()}
 	var links *routing.LinkLoads
-	if w.cfg.CollectLinks {
+	var hopAcc *stats.Accumulator
+	switch w.metrics {
+	case MetricsLinks:
 		if r.links == nil {
 			r.links = routing.NewLinkLoads(w.g)
 		} else {
 			r.links.Reset()
 		}
 		links = r.links
+	case MetricsStreaming:
+		if r.hopAcc == nil {
+			r.hopAcc = stats.NewAccumulator(w.g.Diameter())
+			r.loadAcc = stats.NewAccumulator(w.loadBound)
+		}
+		r.hopAcc.Reset()
+		r.loadAcc.Reset()
+		hopAcc = r.hopAcc
 	}
-	var hops float64
-	for i := 0; i < w.nReq; i++ {
-		req := core.Request{
-			Origin: int32(reqRNG.IntN(n)),
-			File:   int32(fileSampler.Sample(reqRNG)),
+
+	var a acct
+	chunk := len(r.origins)
+	switch w.cfg.Streams {
+	case StreamsInterleaved:
+		reqRNG := r.req.stream(w.reqSrc, t)
+		for base := 0; base < w.nReq; base += chunk {
+			c := min(chunk, w.nReq-base)
+			r.generateAssign(strat, fileSampler, reqRNG, c)
+			r.account(c, &a, links, hopAcc)
 		}
-		a := strat.Assign(req, r.loads, reqRNG)
-		r.loads.Add(int(a.Server))
-		hops += float64(a.Hops)
-		if a.Escalated {
-			res.Escalated++
-		}
-		if a.Backhaul {
-			res.Backhaul++
-		}
-		if links != nil {
-			links.Route(int(req.Origin), int(a.Server))
+	case StreamsSplit:
+		originRNG := r.origin.stream(w.originSrc, t)
+		fileRNG := r.file.stream(w.fileSrc, t)
+		assignRNG := r.assign.stream(w.assignSrc, t)
+		for base := 0; base < w.nReq; base += chunk {
+			c := min(chunk, w.nReq-base)
+			dist.RequestBatch(originRNG, fileRNG, n, fileSampler, r.origins[:c], r.files[:c])
+			r.assignChunk(strat, assignRNG, c)
+			r.account(c, &a, links, hopAcc)
 		}
 	}
+
+	res.Escalated, res.Backhaul = a.escalated, a.backhaul
 	if links != nil {
 		res.MaxLinkLoad = links.Max()
 		res.LinkCongestion = links.CongestionFactor()
 	}
 	res.MaxLoad = r.loads.Max()
 	if w.nReq > 0 {
-		res.MeanCost = hops / float64(w.nReq)
+		res.MeanCost = a.hops / float64(w.nReq)
+	}
+	if hopAcc != nil {
+		for u := 0; u < n; u++ {
+			r.loadAcc.Observe(r.loads.Load(u))
+		}
+		res.Streamed = true
+		res.HopMax = hopAcc.Max()
+		res.HopStd = hopAcc.Std()
+		res.LoadP99 = r.loadAcc.Quantile(0.99)
 	}
 	return res
+}
+
+// generateAssign is the fused generate+assign phase of the interleaved
+// discipline: ids and strategy draws share one stream, consumed per
+// request in the exact pre-pipeline order (origin, file, then the
+// strategy's own draws).
+func (r *Runner) generateAssign(strat core.Strategy, pop dist.Popularity, rng *rand.Rand, c int) {
+	n := r.w.g.N()
+	for i := 0; i < c; i++ {
+		req := core.Request{
+			Origin: int32(rng.IntN(n)),
+			File:   int32(pop.Sample(rng)),
+		}
+		r.origins[i] = req.Origin
+		r.record(i, strat.Assign(req, r.loads, rng))
+	}
+}
+
+// assignChunk is the assign phase of the split discipline: it consumes the
+// pre-generated chunk ids, running the strategy against the dedicated
+// assignment stream.
+func (r *Runner) assignChunk(strat core.Strategy, rng *rand.Rand, c int) {
+	for i := 0; i < c; i++ {
+		req := core.Request{Origin: r.origins[i], File: r.files[i]}
+		r.record(i, strat.Assign(req, r.loads, rng))
+	}
+}
+
+// record applies one assignment to the load vector and stores its request
+// record for the account phase.
+func (r *Runner) record(i int, a core.Assignment) {
+	r.loads.Add(int(a.Server))
+	r.servers[i] = a.Server
+	r.hops[i] = a.Hops
+	var f uint8
+	if a.Escalated {
+		f |= flagEscalated
+	}
+	if a.Backhaul {
+		f |= flagBackhaul
+	}
+	r.flags[i] = f
+}
+
+// account folds one chunk of request records into the trial accumulators.
+// It never touches the RNG streams, so deferring it out of the assign loop
+// is invisible to the draw order. The hop sum adds in request order,
+// keeping MeanCost bit-identical to the pre-pipeline per-request fold.
+func (r *Runner) account(c int, a *acct, links *routing.LinkLoads, hopAcc *stats.Accumulator) {
+	for i := 0; i < c; i++ {
+		a.hops += float64(r.hops[i])
+		f := r.flags[i]
+		if f&flagEscalated != 0 {
+			a.escalated++
+		}
+		if f&flagBackhaul != 0 {
+			a.backhaul++
+		}
+	}
+	if links != nil {
+		for i := 0; i < c; i++ {
+			links.Route(int(r.origins[i]), int(r.servers[i]))
+		}
+	}
+	if hopAcc != nil {
+		for i := 0; i < c; i++ {
+			hopAcc.Observe(int(r.hops[i]))
+		}
+	}
 }

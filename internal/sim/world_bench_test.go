@@ -41,6 +41,50 @@ func BenchmarkWorldRunTrial(b *testing.B) {
 	}
 }
 
+// BenchmarkWorldRunTrialSplit measures the same paper-scale trial under
+// the split-stream discipline, where the generate phase runs as one
+// batched dist.RequestBatch call per pipeline chunk instead of two
+// interface dispatches per request.
+func BenchmarkWorldRunTrialSplit(b *testing.B) {
+	cfg := paperScaleCfg()
+	cfg.Streams = StreamsSplit
+	w, err := Compile(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := w.NewRunner()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.RunTrial(uint64(i))
+	}
+}
+
+// BenchmarkWideWorldTrial is the widegrid acceptance point: one Side=1000
+// (n = 10⁶ servers, 10⁶ requests) two-choices trial with streaming
+// metrics and split streams. The request path allocates nothing; all
+// memory is the compiled world plus the runner's O(n) placement/load
+// state — no O(n) metric vector is ever materialized.
+func BenchmarkWideWorldTrial(b *testing.B) {
+	cfg := Config{
+		Side: 1000, K: 10000, M: 10, Seed: 1,
+		Popularity: PopSpec{Kind: PopZipf, Gamma: 1.2},
+		Strategy:   StrategySpec{Kind: TwoChoices, Radius: 30},
+		Metrics:    MetricsStreaming,
+		Streams:    StreamsSplit,
+	}
+	w, err := Compile(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := w.NewRunner()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.RunTrial(uint64(i))
+	}
+}
+
 // BenchmarkCompile measures the trial-invariant setup the World layer
 // amortizes (grid + coordinate tables, Zipf PMF + alias table, placement
 // profile, RNG sources).

@@ -262,6 +262,100 @@ func (h *Histogram) Mean() float64 {
 	return s / float64(h.total)
 }
 
+// Accumulator streams integer-valued observations into constant memory:
+// Welford moments and running min/max (via Summary) plus a bounded
+// clamping histogram for quantiles. It is the unmaterialized-metrics
+// building block of the simulation engine's streaming mode — a trial folds
+// every delivery (and every node's final load) into one of these instead
+// of materializing O(n) metric vectors, so memory stays flat as worlds
+// grow to 10⁶ nodes. Reset reuses the histogram arena, so steady-state
+// observation and reset are allocation-free.
+type Accumulator struct {
+	sum  Summary
+	hist []int64 // counts for values 0..len-1; the top bucket clamps
+}
+
+// NewAccumulator returns an accumulator whose histogram resolves values in
+// [0, bound]; larger observations clamp into the top bucket (they still
+// enter the exact moments and max). It panics if bound < 0.
+func NewAccumulator(bound int) *Accumulator {
+	if bound < 0 {
+		panic(fmt.Sprintf("stats: NewAccumulator needs bound >= 0, got %d", bound))
+	}
+	return &Accumulator{hist: make([]int64, bound+1)}
+}
+
+// Reset clears the accumulator for a new trial without reallocating.
+func (a *Accumulator) Reset() {
+	a.sum = Summary{}
+	clear(a.hist)
+}
+
+// Observe folds one non-negative observation in.
+func (a *Accumulator) Observe(v int) {
+	a.sum.Add(float64(v))
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(a.hist) {
+		v = len(a.hist) - 1
+	}
+	a.hist[v]++
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int { return a.sum.N() }
+
+// Mean returns the exact mean of all observations.
+func (a *Accumulator) Mean() float64 { return a.sum.Mean() }
+
+// Std returns the exact sample standard deviation of all observations.
+func (a *Accumulator) Std() float64 { return a.sum.Std() }
+
+// Max returns the exact largest observation (0 when empty).
+func (a *Accumulator) Max() int { return int(a.sum.Max()) }
+
+// Quantile returns the smallest histogram value v such that at least a
+// q-fraction of the observations are ≤ v (nearest-rank on the bounded
+// histogram; observations beyond the bound clamp into the top bucket). It
+// returns 0 for an empty accumulator.
+func (a *Accumulator) Quantile(q float64) int {
+	n := int64(a.sum.N())
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for v, c := range a.hist {
+		cum += c
+		if cum >= rank {
+			return v
+		}
+	}
+	return len(a.hist) - 1
+}
+
+// Merge folds another accumulator into a (parallel reduction). Histogram
+// bounds must match.
+func (a *Accumulator) Merge(o *Accumulator) {
+	if len(a.hist) != len(o.hist) {
+		panic("stats: merging accumulators of different bounds")
+	}
+	a.sum.Merge(o.sum)
+	for i, c := range o.hist {
+		a.hist[i] += c
+	}
+}
+
 // Tail returns the fraction of observations ≥ v.
 func (h *Histogram) Tail(v int) float64 {
 	if h.total == 0 {

@@ -31,13 +31,23 @@ func NewSource(seed uint64) Source { return Source{seed: seed} }
 // with distinct (seed, i) pairs are statistically independent PCG
 // instances; calling Stream(i) twice yields identical sequences.
 func (s Source) Stream(i uint64) *rand.Rand {
+	s1, s2 := s.StreamSeed(i)
+	return rand.New(rand.NewPCG(s1, s2))
+}
+
+// StreamSeed returns the PCG seed pair of the i-th stream:
+// Stream(i) ≡ rand.New(rand.NewPCG(StreamSeed(i))). Callers that hold a
+// long-lived generator (the simulation engine's per-worker runners) reseed
+// a reused PCG in place with it, making per-trial stream derivation
+// allocation-free while producing bit-identical sequences.
+func (s Source) StreamSeed(i uint64) (uint64, uint64) {
 	st := s.seed
 	a := splitMix64(&st)
 	st ^= i * 0x9e3779b97f4a7c15
 	b := splitMix64(&st)
 	st ^= 0xd1342543de82ef95
 	c := splitMix64(&st)
-	return rand.New(rand.NewPCG(a^c, b+i))
+	return a ^ c, b + i
 }
 
 // Split returns a child source for namespacing (e.g. one per experiment

@@ -171,7 +171,46 @@ type (
 	Aggregate = sim.Aggregate
 	// Summary is a streaming mean/variance/CI accumulator.
 	Summary = stats.Summary
+	// Accumulator streams observations into running max, Welford moments
+	// and a bounded histogram — the constant-memory metric building block
+	// of the engine's streaming mode.
+	Accumulator = stats.Accumulator
+	// MetricsMode selects per-trial instrumentation (scalar, links,
+	// streaming).
+	MetricsMode = sim.MetricsMode
+	// Streams selects the request-phase RNG discipline (interleaved or
+	// split).
+	Streams = sim.Streams
 )
+
+// NewAccumulator returns a streaming accumulator whose histogram resolves
+// values in [0, bound].
+func NewAccumulator(bound int) *Accumulator { return stats.NewAccumulator(bound) }
+
+// Metrics mode constants for Config.Metrics.
+const (
+	// MetricsScalar reports only the Definition 1 scalars (default).
+	MetricsScalar = sim.MetricsScalar
+	// MetricsLinks materializes per-link loads and reports congestion.
+	MetricsLinks = sim.MetricsLinks
+	// MetricsStreaming reports hop moments and load quantiles through
+	// constant-memory accumulators (flat memory at any world size).
+	MetricsStreaming = sim.MetricsStreaming
+)
+
+// Request-stream discipline constants for Config.Streams.
+const (
+	// StreamsInterleaved is the legacy bit-compatible discipline (default).
+	StreamsInterleaved = sim.StreamsInterleaved
+	// StreamsSplit batches request generation over dedicated streams.
+	StreamsSplit = sim.StreamsSplit
+)
+
+// ParseMetricsMode converts a CLI name into a MetricsMode.
+func ParseMetricsMode(s string) (MetricsMode, error) { return sim.ParseMetricsMode(s) }
+
+// ParseStreams converts a CLI name into a Streams discipline.
+func ParseStreams(s string) (Streams, error) { return sim.ParseStreams(s) }
 
 // Strategy kind constants for StrategySpec.Kind.
 const (
