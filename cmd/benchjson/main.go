@@ -1,0 +1,120 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON map (benchmark name → ns/op, B/op, allocs/op,
+// iterations), so CI can archive a structured perf trajectory next to
+// the benchstat-friendly text artifact and future PRs can diff numbers
+// programmatically:
+//
+//	go test -bench . -benchtime=1x -run '^$' ./... | benchjson > BENCH_$SHA.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark result.
+type Entry struct {
+	Iterations  int64    `json:"iterations"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64   `json:"allocs_per_op,omitempty"`
+	Extra       []string `json:"extra,omitempty"` // unrecognized metric tokens, verbatim
+}
+
+func main() {
+	out, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse extracts benchmark lines ("BenchmarkX-8   10   123 ns/op ...")
+// from bench output, ignoring everything else (pkg headers, PASS/ok).
+// Duplicate names (the same benchmark across packages or repeated runs)
+// get "#2", "#3", ... suffixes, mirroring benchstat's disambiguation.
+func parse(r io.Reader) (map[string]Entry, error) {
+	out := map[string]Entry{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		e := Entry{Iterations: iters}
+		seen := false
+		for i := 2; i+1 < len(f); i += 2 {
+			val, unit := f[i], f[i+1]
+			switch unit {
+			case "ns/op":
+				if e.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
+					return nil, fmt.Errorf("bad ns/op %q: %v", val, err)
+				}
+				seen = true
+			case "B/op":
+				b, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad B/op %q: %v", val, err)
+				}
+				e.BytesPerOp = &b
+			case "allocs/op":
+				a, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad allocs/op %q: %v", val, err)
+				}
+				e.AllocsPerOp = &a
+			default:
+				e.Extra = append(e.Extra, val+" "+unit)
+			}
+		}
+		if !seen {
+			continue
+		}
+		name := f[0]
+		// Strip the GOMAXPROCS suffix ("-8") for stable names across hosts.
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		key := name
+		for n := 2; ; n++ {
+			if _, dup := out[key]; !dup {
+				break
+			}
+			key = fmt.Sprintf("%s#%d", name, n)
+		}
+		out[key] = e
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// sortedNames is kept for tests (stable listing of parsed benchmarks).
+func sortedNames(m map[string]Entry) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/sim
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkRunTrial-8         	     100	   4034538 ns/op	       0 B/op	       0 allocs/op
+BenchmarkWideWorldTrial-8   	       1	1003456789 ns/op	   11770 B/op	      29 allocs/op
+BenchmarkCompile-8          	     500	    210042 ns/op
+PASS
+ok  	repro/internal/sim	12.3s
+pkg: repro/internal/dist
+BenchmarkRunTrial-8         	     200	   2000000 ns/op	      16 B/op	       1 allocs/op
+BenchmarkZipfSample 	100000000	        11.43 ns/op
+ok  	repro/internal/dist	1.2s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"BenchmarkCompile", "BenchmarkRunTrial", "BenchmarkRunTrial#2",
+		"BenchmarkWideWorldTrial", "BenchmarkZipfSample",
+	}
+	if names := sortedNames(got); strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("parsed %v, want %v", names, want)
+	}
+	wt := got["BenchmarkWideWorldTrial"]
+	if wt.Iterations != 1 || wt.NsPerOp != 1003456789 || *wt.BytesPerOp != 11770 || *wt.AllocsPerOp != 29 {
+		t.Fatalf("wide trial entry %+v", wt)
+	}
+	if c := got["BenchmarkCompile"]; c.BytesPerOp != nil || c.AllocsPerOp != nil || c.NsPerOp != 210042 {
+		t.Fatalf("compile entry %+v", c)
+	}
+	if z := got["BenchmarkZipfSample"]; z.NsPerOp != 11.43 || z.Iterations != 100000000 {
+		t.Fatalf("zipf entry %+v", z)
+	}
+	// The duplicate across packages survives with a #2 suffix.
+	if d := got["BenchmarkRunTrial#2"]; d.NsPerOp != 2000000 {
+		t.Fatalf("duplicate entry %+v", d)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	got, err := parse(strings.NewReader("hello\nBenchmarkBroken abc def\nok\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("parsed garbage: %v", got)
+	}
+}

@@ -6,11 +6,12 @@
 //	cachesim -side 45 -k 500 -m 10 -strategy two-choices -radius 8 -trials 100
 //	cachesim -side 45 -k 2000 -m 1 -strategy nearest -gamma 0.8 -trials 50
 //
-// Wide worlds (n = 10⁶ servers) at flat memory — streaming metrics plus
-// the batched split-stream request discipline:
+// Wide worlds (n = 10⁶ servers) at flat memory — streaming metrics, the
+// batched split-stream request discipline, and the tile-bucketed spatial
+// replica index (sub-second trials):
 //
-//	cachesim -side 1000 -k 10000 -m 10 -strategy two-choices -radius 40 \
-//	    -metrics streaming -streams split -trials 4
+//	cachesim -side 1000 -k 10000 -m 10 -strategy two-choices -radius 8 \
+//	    -metrics streaming -streams split -index tiles -trials 4
 package main
 
 import (
@@ -36,13 +37,14 @@ func main() {
 		miss     = flag.String("miss", "resample", "miss policy: resample, escalate or origin")
 		metrics  = flag.String("metrics", "scalar", "per-trial instrumentation: scalar, links or streaming")
 		streams  = flag.String("streams", "interleaved", "request RNG discipline: interleaved or split (batched generation)")
+		index    = flag.String("index", "none", "candidate enumeration for bounded radii: none or tiles (spatial replica index)")
 		trials   = flag.Int("trials", 50, "independent trials")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		seed     = flag.Uint64("seed", 2017, "root random seed")
 	)
 	flag.Parse()
 
-	cfg, err := buildConfig(*side, *topo, *k, *m, *gamma, *strategy, *radius, *choices, *requests, *miss, *metrics, *streams, *seed)
+	cfg, err := buildConfig(*side, *topo, *k, *m, *gamma, *strategy, *radius, *choices, *requests, *miss, *metrics, *streams, *index, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cachesim:", err)
 		os.Exit(2)
@@ -65,12 +67,15 @@ func main() {
 	case repro.MetricsStreaming:
 		fmt.Printf("hops:      max %s, std %s (streaming)\n", agg.HopMax.String(), agg.HopStd.String())
 		fmt.Printf("load p99:  %s\n", agg.LoadP99.String())
+		if agg.LinkMaxApprox.Mean() > 0 {
+			fmt.Printf("link load: max ≈ %s (space-saving sketch upper bound)\n", agg.LinkMaxApprox.String())
+		}
 	}
 }
 
 // buildConfig translates CLI flags into a sim configuration.
 func buildConfig(side int, topo string, k, m int, gamma float64, strategy string,
-	radius, choices, requests int, miss, metrics, streams string, seed uint64) (repro.Config, error) {
+	radius, choices, requests int, miss, metrics, streams, index string, seed uint64) (repro.Config, error) {
 	var cfg repro.Config
 	tp, err := grid.ParseTopology(topo)
 	if err != nil {
@@ -84,9 +89,13 @@ func buildConfig(side int, topo string, k, m int, gamma float64, strategy string
 	if err != nil {
 		return cfg, err
 	}
+	ix, err := repro.ParseIndex(index)
+	if err != nil {
+		return cfg, err
+	}
 	cfg = repro.Config{
 		Side: side, Topology: tp, K: k, M: m,
-		Requests: requests, Metrics: mm, Streams: sd, Seed: seed,
+		Requests: requests, Metrics: mm, Streams: sd, Index: ix, Seed: seed,
 	}
 	if gamma > 0 {
 		cfg.Popularity = repro.PopSpec{Kind: repro.PopZipf, Gamma: gamma}

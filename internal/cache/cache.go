@@ -19,6 +19,7 @@ import (
 	"slices"
 
 	"repro/internal/dist"
+	"repro/internal/grid"
 )
 
 // Mode selects how the M slots of a node are filled.
@@ -63,7 +64,18 @@ type Placement struct {
 
 	// cachedFiles lists files with at least one replica, ascending.
 	cachedFiles []int32
+
+	// tix is the optional spatial replica index (see TileIndex), built
+	// only by Placers with EnableTiles.
+	tix *TileIndex
+	// unsorted marks EnableTiles placements, whose per-node file lists
+	// skip the sort; NodeFiles-order consumers must not assume order.
+	unsorted bool
 }
+
+// TileIndex returns the spatial replica index, or nil when the placement
+// was built without one.
+func (p *Placement) TileIndex() *TileIndex { return p.tix }
 
 // Placer builds placements into reusable backing arrays. One Placer
 // serves one (n, m, k) shape; each Place call overwrites the arrays of
@@ -79,6 +91,16 @@ type Placer struct {
 	counts []int32 // per-file replica count, then CSR fill cursor
 	mark   []uint64
 	stamp  uint64
+
+	// Tile-index state (EnableTiles): the geometry and the index arenas.
+	tiling *grid.Tiling
+	tix    TileIndex
+	// noSort skips the per-node file-list sort (EnableTiles): the
+	// replica-side CSR comes out identical either way (it is built by a
+	// node-ascending scatter), and the indexed strategies never read
+	// per-node order — but NodeFiles/Has/TPair then see unspecified
+	// order, so only the index-backed engine path may opt in.
+	noSort bool
 }
 
 // NewPlacer returns a Placer for n nodes of m slots over a k-file library.
@@ -128,6 +150,7 @@ func (p *Placement) clone() *Placement {
 	c.nodes = slices.Clone(p.nodes)
 	c.repOff = slices.Clone(p.repOff)
 	c.cachedFiles = slices.Clone(p.cachedFiles)
+	c.tix = nil // the tile index lives in the builder's arenas
 	return &c
 }
 
@@ -158,7 +181,9 @@ func (pl *Placer) Place(pop dist.Popularity, mode Mode, r *rand.Rand) *Placement
 					p.files = append(p.files, f)
 				}
 			}
-			slices.Sort(p.files[start:])
+			if !pl.noSort {
+				slices.Sort(p.files[start:])
+			}
 			p.nodeOff[u+1] = int32(len(p.files))
 		}
 	case WithoutReplacement:
@@ -168,6 +193,12 @@ func (pl *Placer) Place(pop dist.Popularity, mode Mode, r *rand.Rand) *Placement
 	}
 
 	pl.buildReplicaIndex()
+	p.unsorted = pl.noSort
+	if pl.tiling != nil {
+		pl.buildTileIndex()
+	} else {
+		p.tix = nil
+	}
 	return p
 }
 
@@ -199,7 +230,9 @@ func (pl *Placer) placeWithoutReplacement(pop dist.Popularity, r *rand.Rand) {
 				}
 			}
 		}
-		slices.Sort(p.files[start:])
+		if !pl.noSort {
+			slices.Sort(p.files[start:])
+		}
 		p.nodeOff[u+1] = int32(len(p.files))
 	}
 }
@@ -273,10 +306,21 @@ func (p *Placement) NodeFiles(u int) []int32 { return p.files[p.nodeOff[u]:p.nod
 // Has reports whether node u caches file j. Sorted-scan for the short
 // lists that dominate (t(u) ≤ M, typically ≤ a few dozen), binary search
 // beyond; both avoid the closure dispatch of sort.Search on what is the
-// single hottest lookup of the ball-side candidate sampler.
+// single hottest lookup of the ball-side candidate sampler. On indexed
+// (EnableTiles) placements, whose node lists are unsorted, it falls back
+// to a full linear scan — correct, just not the hot-path shape (the
+// index-backed strategies never call it).
 func (p *Placement) Has(u, j int) bool {
 	files := p.files[p.nodeOff[u]:p.nodeOff[u+1]]
 	f := int32(j)
+	if p.unsorted {
+		for _, v := range files {
+			if v == f {
+				return true
+			}
+		}
+		return false
+	}
 	if len(files) <= 32 {
 		for _, v := range files {
 			if v >= f {
@@ -293,8 +337,13 @@ func (p *Placement) Has(u, j int) bool {
 func (p *Placement) T(u int) int { return int(p.nodeOff[u+1] - p.nodeOff[u]) }
 
 // TPair returns t(u,v) = |T(u,v)|, the number of distinct files cached at
-// both u and v, via sorted-list intersection.
+// both u and v, via sorted-list intersection. It panics on indexed
+// (EnableTiles) placements, whose node lists are unsorted — better a
+// loud failure than a silently wrong intersection count.
 func (p *Placement) TPair(u, v int) int {
+	if p.unsorted {
+		panic("cache: TPair needs sorted node lists; indexed (EnableTiles) placements skip the sort")
+	}
 	a, b := p.NodeFiles(u), p.NodeFiles(v)
 	t, i, j := 0, 0, 0
 	for i < len(a) && j < len(b) {

@@ -1,0 +1,221 @@
+package cache
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/grid"
+)
+
+// tileWorlds spans library skew, topology, tile size and cache size.
+func tileWorlds() []struct {
+	name  string
+	l, t  int
+	topo  grid.Topology
+	k, m  int
+	gamma float64
+} {
+	return []struct {
+		name  string
+		l, t  int
+		topo  grid.Topology
+		k, m  int
+		gamma float64
+	}{
+		{"uniform-torus", 12, 3, grid.Torus, 150, 2, 0},
+		{"zipf-torus", 15, 4, grid.Torus, 60, 3, 1.2},
+		{"uniform-grid", 10, 3, grid.Bounded, 80, 2, 0},
+		{"tile1", 8, 1, grid.Torus, 40, 2, 0.8},
+		{"clipped-tiles", 11, 4, grid.Torus, 50, 2, 0},
+		{"dense", 6, 2, grid.Torus, 8, 4, 0},
+	}
+}
+
+func buildIndexed(t *testing.T, l, ts int, topo grid.Topology, k, m int, gamma float64, seed uint64) (*grid.Grid, *Placement) {
+	t.Helper()
+	g := grid.New(l, topo)
+	tl := g.NewTiling(ts)
+	pl := NewPlacer(g.N(), m, k)
+	pl.EnableTiles(tl)
+	var pop dist.Popularity = dist.NewUniform(k)
+	if gamma > 0 {
+		pop = dist.NewZipf(k, gamma)
+	}
+	r := rand.New(rand.NewPCG(seed, seed^0x9e37))
+	return g, pl.Place(pop, WithReplacement, r)
+}
+
+// TestTileIndexIntegrity: for every file, the tile-major list is a
+// permutation of Replicas(j); runs are non-empty, tile-ascending, node-
+// ascending inside, and every run's nodes actually live in its tile.
+func TestTileIndexIntegrity(t *testing.T) {
+	for _, w := range tileWorlds() {
+		t.Run(w.name, func(t *testing.T) {
+			_, p := buildIndexed(t, w.l, w.t, w.topo, w.k, w.m, w.gamma, 42)
+			ix := p.TileIndex()
+			if ix == nil {
+				t.Fatal("TileIndex not attached")
+			}
+			tl := ix.Tiling()
+			denseSeen := 0
+			for j := 0; j < p.K(); j++ {
+				want := slices.Clone(p.Replicas(j))
+				if bits := ix.FileBits(j); bits != nil {
+					// Dense file: represented by its bitmap (exactly the
+					// replica set), with an empty tile directory.
+					denseSeen++
+					var fromBits []int32
+					for u := 0; u < p.N(); u++ {
+						if bits[u>>6]&(1<<(uint(u)&63)) != 0 {
+							fromBits = append(fromBits, int32(u))
+						}
+					}
+					if !slices.Equal(fromBits, want) {
+						t.Fatalf("file %d: bitmap holds %v, want S_j %v", j, fromBits, want)
+					}
+					if tiles, _, _ := ix.FileRuns(j); len(tiles) != 0 {
+						t.Fatalf("file %d: dense file has %d tile runs, want none", j, len(tiles))
+					}
+					continue
+				}
+				got := slices.Clone(ix.Replicas(j))
+				slices.Sort(got)
+				if !slices.Equal(got, want) {
+					t.Fatalf("file %d: tile-major list is not a permutation of S_j: %v vs %v", j, ix.Replicas(j), want)
+				}
+				tiles, starts, segEnd := ix.FileRuns(j)
+				if len(want) == 0 {
+					if len(tiles) != 0 {
+						t.Fatalf("file %d: empty S_j with %d runs", j, len(tiles))
+					}
+					continue
+				}
+				covered := 0
+				nodes := ix.Nodes()
+				for d := range tiles {
+					tile, start := tiles[d], starts[d]
+					if d > 0 && tile <= tiles[d-1] {
+						t.Fatalf("file %d: tile run order regressed at %d", j, d)
+					}
+					end := segEnd
+					if d+1 < len(starts) {
+						end = starts[d+1]
+					}
+					if end <= start {
+						t.Fatalf("file %d: empty run %d", j, d)
+					}
+					for i := start; i < end; i++ {
+						if tl.TileOf(nodes[i]) != tile {
+							t.Fatalf("file %d run %d: node %d is in tile %d, not %d", j, d, nodes[i], tl.TileOf(nodes[i]), tile)
+						}
+						if i > start && nodes[i] <= nodes[i-1] {
+							t.Fatalf("file %d run %d: node order regressed", j, d)
+						}
+					}
+					covered += int(end - start)
+				}
+				if covered != len(want) {
+					t.Fatalf("file %d: runs cover %d replicas, want %d", j, covered, len(want))
+				}
+			}
+			if w.name == "dense" && denseSeen == 0 {
+				t.Fatal("dense fixture produced no bitmap files")
+			}
+		})
+	}
+}
+
+// TestTileIndexReuseAcrossPlacements: rebuilding through the same Placer
+// must leave the index consistent with the new placement (arenas reused,
+// contents refreshed) and not disturb RNG-determinism of the placement
+// itself.
+func TestTileIndexReuseAcrossPlacements(t *testing.T) {
+	g := grid.New(12, grid.Torus)
+	tl := g.NewTiling(3)
+	pop := dist.NewZipf(100, 1.0)
+
+	plain := NewPlacer(g.N(), 2, 100)
+	indexed := NewPlacer(g.N(), 2, 100)
+	indexed.EnableTiles(tl)
+	r1 := rand.New(rand.NewPCG(5, 6))
+	r2 := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 4; trial++ {
+		pp := plain.Place(pop, WithReplacement, r1)
+		pi := indexed.Place(pop, WithReplacement, r2)
+		if pp.TileIndex() != nil {
+			t.Fatal("plain placer grew a tile index")
+		}
+		ix := pi.TileIndex()
+		if ix == nil {
+			t.Fatal("indexed placer lost its tile index")
+		}
+		for j := 0; j < 100; j++ {
+			if !slices.Equal(pp.Replicas(j), pi.Replicas(j)) {
+				t.Fatalf("trial %d file %d: index build perturbed the placement", trial, j)
+			}
+			if ix.FileBits(j) != nil {
+				continue // dense: checked via bitmap in TestTileIndexIntegrity
+			}
+			got := slices.Clone(ix.Replicas(j))
+			slices.Sort(got)
+			if !slices.Equal(got, pi.Replicas(j)) {
+				t.Fatalf("trial %d file %d: stale index contents", trial, j)
+			}
+		}
+	}
+}
+
+// TestTileIndexBuildAllocs: after warm-up, rebuilding placement + index
+// through a reused Placer allocates nothing.
+func TestTileIndexBuildAllocs(t *testing.T) {
+	g := grid.New(20, grid.Torus)
+	tl := g.NewTiling(4)
+	pop := dist.NewZipf(200, 1.2)
+	pl := NewPlacer(g.N(), 3, 200)
+	pl.EnableTiles(tl)
+	r := rand.New(rand.NewPCG(9, 9))
+	pl.Place(pop, WithReplacement, r)
+	pl.Place(pop, WithReplacement, r)
+	if n := testing.AllocsPerRun(5, func() {
+		pl.Place(pop, WithReplacement, r)
+	}); n != 0 {
+		t.Errorf("steady-state indexed Place allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestPlacementCloneDropsIndex: the public Place path and clone never
+// leak builder-owned index arenas.
+func TestPlacementCloneDropsIndex(t *testing.T) {
+	g := grid.New(6, grid.Torus)
+	r := rand.New(rand.NewPCG(1, 2))
+	p := Place(g.N(), 2, dist.NewUniform(10), WithReplacement, r)
+	if p.TileIndex() != nil {
+		t.Fatal("package-level Place attached a tile index")
+	}
+}
+
+// TestIndexedPlacementGuards: NodeFiles-order consumers stay safe on
+// indexed placements — Has falls back to a correct full scan, TPair
+// fails loudly instead of returning a wrong intersection.
+func TestIndexedPlacementGuards(t *testing.T) {
+	_, p := buildIndexed(t, 10, 3, grid.Torus, 30, 4, 1.2, 6)
+	for u := 0; u < p.N(); u++ {
+		cached := map[int32]bool{}
+		for _, f := range p.NodeFiles(u) {
+			cached[f] = true
+		}
+		for j := 0; j < p.K(); j++ {
+			if got := p.Has(u, j); got != cached[int32(j)] {
+				t.Fatalf("Has(%d, %d) = %v on indexed placement, want %v", u, j, got, cached[int32(j)])
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TPair on an indexed placement should panic")
+		}
+	}()
+	p.TPair(0, 1)
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"repro/internal/ballsbins"
+	"repro/internal/cache"
+	"repro/internal/dist"
+	"repro/internal/grid"
+)
+
+// indexedWorld builds an index-carrying placement plus a TwoChoice bound
+// to it, and — from an identical RNG history — a plain sorted placement
+// with a plain strategy, to serve as the PR 3 exact-path oracle (indexed
+// placements skip the per-node sort, so NodeFiles-order consumers like
+// exactCandidates' ball side must run against the sorted twin).
+func indexedWorld(l, tile int, topo grid.Topology, k, m int, gamma float64, cfg TwoChoiceConfig, seed uint64) (*grid.Grid, *cache.Placement, *TwoChoice, *TwoChoice) {
+	g := grid.New(l, topo)
+	var pop dist.Popularity = dist.NewUniform(k)
+	if gamma > 0 {
+		pop = dist.NewZipf(k, gamma)
+	}
+	pli := cache.NewPlacer(g.N(), m, k)
+	pli.EnableTiles(g.NewTiling(tile))
+	pi := pli.Place(pop, cache.WithReplacement, rand.New(rand.NewPCG(seed, seed^0xabcd)))
+	plp := cache.NewPlacer(g.N(), m, k)
+	pp := plp.Place(pop, cache.WithReplacement, rand.New(rand.NewPCG(seed, seed^0xabcd)))
+	for j := 0; j < k; j++ {
+		if !slices.Equal(pp.Replicas(j), pi.Replicas(j)) {
+			panic("indexedWorld: twin placements diverged")
+		}
+	}
+	return g, pi, NewTwoChoice(g, pi, cfg), NewTwoChoice(g, pp, cfg)
+}
+
+// TestIndexExactCandidatesMatchExactCandidates: for random worlds,
+// origins and files, the tile-walk candidate list must equal the PR 3
+// exact filter's output as a set (orders differ: tile-major vs replica-
+// list / ball order).
+func TestIndexExactCandidatesMatchExactCandidates(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 41))
+	for it := 0; it < 60; it++ {
+		l := 8 + rng.IntN(16)
+		tile := 1 + rng.IntN(6)
+		topo := grid.Topology(rng.IntN(2))
+		radius := 1 + rng.IntN(l/2+1)
+		k := 20 + rng.IntN(100)
+		m := 1 + rng.IntN(3)
+		gamma := float64(rng.IntN(3)) * 0.7
+		g, p, s, oracle := indexedWorld(l, tile, topo, k, m, gamma, TwoChoiceConfig{Radius: radius}, uint64(1000+it))
+		if s.cfg.Radius == RadiusUnbounded {
+			continue // radius ≥ diameter collapses to the unbounded path
+		}
+		if s.tix == nil {
+			t.Fatalf("it=%d: strategy did not bind the tile index", it)
+		}
+		for q := 0; q < 20; q++ {
+			origin := int32(rng.IntN(g.N()))
+			file := int32(rng.IntN(k))
+			reps := p.Replicas(int(file))
+			req := Request{Origin: origin, File: file}
+			want := slices.Clone(oracle.exactCandidates(req, reps, nil))
+			got := slices.Clone(s.indexedCandidates(req, nil))
+			slices.Sort(want)
+			slices.Sort(got)
+			if !slices.Equal(got, want) {
+				t.Fatalf("it=%d l=%d tile=%d r=%d %v u=%d j=%d:\n index %v\n exact %v",
+					it, l, tile, radius, topo, origin, file, got, want)
+			}
+		}
+	}
+}
+
+// chiSquaredUniform draws n single-candidate assignments for a fixed
+// request through the full Assign path (flat loads, d = 1, so the
+// returned server IS the sampled candidate) and returns the chi-squared
+// statistic against the uniform law over the exact candidate set.
+func chiSquaredUniform(t *testing.T, g *grid.Grid, s, oracle *TwoChoice, req Request, n int, seed uint64) (chi2 float64, df int) {
+	t.Helper()
+	reps := oracle.p.Replicas(int(req.File))
+	cands := slices.Clone(oracle.exactCandidates(req, reps, nil))
+	if len(cands) < 2 {
+		t.Fatalf("degenerate candidate set %v for origin=%d file=%d", cands, req.Origin, req.File)
+	}
+	slices.Sort(cands)
+	counts := make(map[int32]int, len(cands))
+	loads := ballsbins.NewLoads(g.N())
+	rng := rand.New(rand.NewPCG(seed, seed*2+1))
+	for i := 0; i < n; i++ {
+		a := s.Assign(req, loads, rng)
+		if a.Escalated || a.Backhaul {
+			t.Fatalf("unexpected miss for origin=%d file=%d: %+v", req.Origin, req.File, a)
+		}
+		counts[a.Server]++
+	}
+	expected := float64(n) / float64(len(cands))
+	for _, v := range cands {
+		d := float64(counts[v]) - expected
+		chi2 += d * d / expected
+		delete(counts, v)
+	}
+	if len(counts) != 0 {
+		t.Fatalf("sampler produced servers outside S_j ∩ B_r: %v", counts)
+	}
+	return chi2, len(cands) - 1
+}
+
+// TestTwoStageSamplerUniformLaw: the two-stage tile sampler must draw
+// uniformly over S_j ∩ B_r(u) across the popularity spectrum (sparse,
+// mid, popular files), under both the precomputed cover template and the
+// per-query fallback. Thresholds sit far above the 99.9th chi-squared
+// percentile; seeds are fixed, so the test is deterministic.
+func TestTwoStageSamplerUniformLaw(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		l    int
+		tile int
+		topo grid.Topology
+	}{
+		{"template", 24, 3, grid.Torus},  // 24 % 3 == 0, r+t-1 ≤ 12: CoverTable path
+		{"fallback", 22, 4, grid.Torus},  // 22 % 4 != 0: per-query Cover path
+		{"bounded", 20, 3, grid.Bounded}, // boundary clipping: per-query Cover path
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const k, m, radius = 40, 2, 6
+			g, p, s, oracle := indexedWorld(tc.l, tc.tile, tc.topo, k, m, 1.1, TwoChoiceConfig{Radius: radius, Choices: 1}, 77)
+			if (tc.name == "template") != (s.cover != nil) {
+				t.Fatalf("cover template presence = %v, want %v", s.cover != nil, tc.name == "template")
+			}
+			// Pick one sparse, one mid, one popular file relative to the
+			// candidate space, each with ≥ 2 in-radius candidates from a
+			// suitable origin.
+			type probe struct {
+				file   int32
+				origin int32
+				size   int
+			}
+			var probes []probe
+			for class, want := range map[string]func(sj, inBall int) bool{
+				"sparse":  func(sj, inBall int) bool { return sj <= 6 && inBall >= 2 },
+				"mid":     func(sj, inBall int) bool { return sj > 6 && sj <= 40 && inBall >= 3 },
+				"popular": func(sj, inBall int) bool { return sj > 40 && inBall >= 8 },
+			} {
+				found := false
+			search:
+				for j := 0; j < k && !found; j++ {
+					reps := p.Replicas(j)
+					for u := 0; u < g.N(); u += 7 {
+						req := Request{Origin: int32(u), File: int32(j)}
+						in := len(oracle.exactCandidates(req, reps, nil))
+						if want(len(reps), in) {
+							probes = append(probes, probe{int32(j), int32(u), in})
+							found = true
+							continue search
+						}
+					}
+				}
+				if !found {
+					t.Fatalf("no %s file found in this world (tune the fixture)", class)
+				}
+			}
+			for _, pr := range probes {
+				const n = 40000
+				chi2, df := chiSquaredUniform(t, g, s, oracle, Request{Origin: pr.origin, File: pr.file}, n, 1234+uint64(pr.file))
+				// 99.9th percentile of chi² ≈ df + 3.09·√(2df) for moderate
+				// df; allow a wide margin on top.
+				limit := float64(df) + 4.5*math.Sqrt(2*float64(df)) + 6
+				if chi2 > limit {
+					t.Errorf("file %d origin %d (%d candidates): chi² = %.1f > %.1f (df=%d) — sampler not uniform",
+						pr.file, pr.origin, pr.size, chi2, limit, df)
+				}
+			}
+		})
+	}
+}
+
+// TestIndexedAssignMatchesSemantics: with and without the index, Assign
+// must agree on everything the RNG does not influence — escalation/
+// backhaul outcomes and the candidate-set membership of the server — for
+// every miss policy combination.
+func TestIndexedAssignMatchesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewPCG(91, 17))
+	for _, noEsc := range []bool{false, true} {
+		for _, wr := range []bool{false, true} {
+			cfg := TwoChoiceConfig{Radius: 4, NoEscalate: noEsc, WithoutReplacement: wr}
+			g, p, indexed, plain := indexedWorld(14, 2, grid.Torus, 200, 1, 0, cfg, 5)
+			loads := ballsbins.NewLoads(g.N())
+			for q := 0; q < 4000; q++ {
+				req := Request{Origin: int32(rng.IntN(g.N())), File: int32(rng.IntN(200))}
+				reps := p.Replicas(int(req.File))
+				cands := plain.exactCandidates(req, reps, nil)
+				ai := indexed.Assign(req, loads, rng)
+				ap := plain.Assign(req, loads, rng)
+				if ai.Escalated != ap.Escalated || ai.Backhaul != ap.Backhaul {
+					t.Fatalf("noEsc=%v wr=%v req=%+v: flags diverge: indexed %+v plain %+v", noEsc, wr, req, ai, ap)
+				}
+				if !ai.Escalated && !ai.Backhaul && !slices.Contains(cands, ai.Server) {
+					t.Fatalf("noEsc=%v wr=%v req=%+v: indexed server %d outside S_j ∩ B_r %v", noEsc, wr, req, ai.Server, cands)
+				}
+				loads.Add(int(ai.Server))
+			}
+		}
+	}
+}
+
+// TestOracleIndexedMatchesExact: the full-information oracle must pick a
+// least-loaded in-radius replica whether or not the index is bound.
+func TestOracleIndexedMatchesExact(t *testing.T) {
+	g, p, _, plainStrat := indexedWorld(12, 3, grid.Torus, 100, 2, 0.9, TwoChoiceConfig{Radius: 3}, 8)
+	indexed := NewLeastLoadedOracle(g, p, 3)
+	plain := NewLeastLoadedOracle(g, plainStrat.p, 3)
+	loads := ballsbins.NewLoads(g.N())
+	rng := rand.New(rand.NewPCG(3, 33))
+	for q := 0; q < 3000; q++ {
+		req := Request{Origin: int32(rng.IntN(g.N())), File: int32(rng.IntN(100))}
+		ai := indexed.Assign(req, loads, rng)
+		ap := plain.Assign(req, loads, rng)
+		if ai.Escalated != ap.Escalated || ai.Backhaul != ap.Backhaul {
+			t.Fatalf("req=%+v: flags diverge: %+v vs %+v", req, ai, ap)
+		}
+		// Both picks must be least-loaded over the same pool (the winners
+		// may differ on ties, which the reservoir breaks uniformly).
+		if loads.Load(int(ai.Server)) != loads.Load(int(ap.Server)) {
+			t.Fatalf("req=%+v: oracle loads diverge: %d@%d vs %d@%d",
+				req, ai.Server, loads.Load(int(ai.Server)), ap.Server, loads.Load(int(ap.Server)))
+		}
+		loads.Add(int(ai.Server))
+	}
+}

@@ -49,6 +49,23 @@ type TwoChoice struct {
 	ballBuf []int32
 	candBuf []int32
 	seenBuf []int32 // distinct-candidate scratch (WithoutReplacement)
+
+	// Tile-index path (bound when the placement carries a TileIndex).
+	tix         *cache.TileIndex
+	boundTiling *grid.Tiling     // geometry the cover/buffers were built for
+	cover       *grid.CoverTable // radius cover template (nil → per-query Cover)
+	coverBuf    grid.CoverBuf
+	runs        []tileRun // per covered tile holding replicas of the file
+	gl          int       // grid side, for table-free distance arithmetic
+	torus       bool
+}
+
+// tileRun is one covered tile's replica slice: nodes()[start:start+n],
+// with full reporting whether the tile lies entirely inside B_r(u).
+type tileRun struct {
+	start int32
+	n     int32
+	full  bool
 }
 
 // NewTwoChoice builds Strategy II. It panics on nonsensical configuration
@@ -69,7 +86,8 @@ func NewTwoChoice(g *grid.Grid, p *cache.Placement, cfg TwoChoiceConfig) *TwoCho
 	if cfg.Radius == RadiusUnbounded || cfg.Radius >= g.Diameter() {
 		cfg.Radius = RadiusUnbounded
 	}
-	t := &TwoChoice{common: newCommon(g, p), cfg: cfg}
+	t := &TwoChoice{common: newCommon(g, p), cfg: cfg,
+		gl: g.Side(), torus: g.Topology() == grid.Torus}
 	if cfg.Radius != RadiusUnbounded {
 		t.ballN = g.BallSize(cfg.Radius)
 		t.ball = g.NewBallTable(cfg.Radius)
@@ -80,12 +98,60 @@ func NewTwoChoice(g *grid.Grid, p *cache.Placement, cfg TwoChoiceConfig) *TwoCho
 		if !cfg.WithoutReplacement {
 			t.maxTry = 4*(g.N()/t.ballN+1) + 16
 		}
+		t.bindIndex()
 	}
 	return t
 }
 
+// bindIndex adopts the placement's spatial replica index, if any, and
+// (re)builds the radius cover template over its tile geometry. With an
+// index bound, Assign routes bounded-radius candidate work through the
+// tile walk instead of the rejection/exact-filter ladder.
+func (s *TwoChoice) bindIndex() {
+	tix := s.p.TileIndex()
+	if tix == nil {
+		s.tix, s.cover, s.boundTiling = nil, nil, nil
+		return
+	}
+	// Compare against the tiling the cover was actually built for — a
+	// Placer rebinding a different tiling reuses the same TileIndex
+	// address, so comparing through s.tix could never detect the swap.
+	if s.boundTiling != tix.Tiling() {
+		s.boundTiling = tix.Tiling()
+		s.cover = tix.Tiling().NewCoverTable(s.cfg.Radius)
+		// Pre-size the per-request buffers to their worst case — every
+		// covered tile holds an in-ball cell, so covers and runs are
+		// bounded by min(|B_r|, #tiles) and exact candidate lists by
+		// |B_r| — keeping steady-state trials allocation-free from the
+		// first placement instead of creeping to a high-water mark.
+		maxRuns := min(s.ballN, tix.Tiling().Tiles())
+		if cap(s.runs) < maxRuns {
+			s.runs = make([]tileRun, 0, maxRuns)
+		}
+		if cap(s.coverBuf.IDs) < maxRuns {
+			s.coverBuf.IDs = make([]int32, 0, maxRuns)
+			s.coverBuf.Full = make([]bool, 0, maxRuns)
+		}
+		if cap(s.candBuf) < s.ballN {
+			s.candBuf = make([]int32, 0, s.ballN)
+		}
+		if cap(s.ballBuf) < s.ballN {
+			s.ballBuf = make([]int32, 0, s.ballN) // dense exact fallback
+		}
+		if d := max(s.cfg.Choices, 4); cap(s.seenBuf) < d {
+			s.seenBuf = make([]int32, 0, d)
+		}
+	}
+	s.tix = tix
+}
+
 // Rebind implements Rebindable: swap the placement, keep scratch.
-func (s *TwoChoice) Rebind(p *cache.Placement) { s.common.rebind(p) }
+func (s *TwoChoice) Rebind(p *cache.Placement) {
+	s.common.rebind(p)
+	if s.cfg.Radius != RadiusUnbounded {
+		s.bindIndex()
+	}
+}
 
 // Name implements Strategy.
 func (s *TwoChoice) Name() string {
@@ -118,6 +184,9 @@ func (s *TwoChoice) Assign(req Request, loads *ballsbins.Loads, r *rand.Rand) As
 	}
 	if s.cfg.Radius == RadiusUnbounded {
 		return assignmentTo(s.g, req, s.pickFromPool(reps, d, loads, r), false)
+	}
+	if s.tix != nil {
+		return s.assignIndexed(req, reps, d, loads, r)
 	}
 	// Bounded radius. Rejection sampling pays off only when the replica
 	// list is larger than the try budget; the budget is zero for
@@ -173,6 +242,531 @@ func (s *TwoChoice) exactCandidates(req Request, reps []int32, dst []int32) []in
 		}
 	}
 	return dst
+}
+
+// indexedCandidates materializes S_j ∩ B_r(u) through the index,
+// dispatching on the file's representation (bitmap or tile runs). Equal
+// as a set to exactCandidates.
+func (s *TwoChoice) indexedCandidates(req Request, dst []int32) []int32 {
+	if bits := s.tix.FileBits(int(req.File)); bits != nil {
+		return s.bitExactCandidates(int(req.Origin), bits, dst)
+	}
+	s.collectRuns(req.Origin, req.File)
+	return s.indexExactCandidates(req.Origin, dst)
+}
+
+// collectRuns walks the tiles overlapping B_r(u) and gathers, for the
+// requested file, one run per covered tile holding replicas: its offset
+// into the index arena, its length, and whether the tile is fully inside
+// the ball. Returns the total replica count across the runs. The runs
+// are a superset of S_j ∩ B_r(u) (partial tiles may hold out-of-ball
+// replicas) and cover it completely, so weight 0 proves the
+// intersection empty.
+func (s *TwoChoice) collectRuns(origin, file int32) int {
+	tiles, starts, segEnd := s.tix.FileRuns(int(file))
+	s.runs = s.runs[:0]
+	n := len(tiles)
+	if n == 0 {
+		return 0
+	}
+	tl := s.tix.Tiling()
+	tileSpan := int(tiles[n-1]-tiles[0]) + 1
+	density := float64(n) / float64(tileSpan)
+	if s.cover != nil {
+		// Sparse directory with an unwrapped templated cover: the
+		// cover's id bounds come straight off the template in O(1), and
+		// one linear walk of the bracketed directory slice with an O(1)
+		// geometric classification per entry replaces both the cover
+		// materialization and the per-tile searches.
+		if n*16 <= tl.Tiles() {
+			if lo, hi, ok := s.cover.Bounds(int(origin)); ok {
+				total := 0
+				for pos := interpSearch(tiles, 0, lo, density); pos < n && tiles[pos] <= hi; pos++ {
+					overlap, full := tl.Classify(tiles[pos], int(origin), s.cfg.Radius)
+					if !overlap {
+						continue
+					}
+					total += s.pushRun(starts, pos, segEnd, full)
+				}
+				return total
+			}
+		}
+		return s.collectRunsRows(origin, tiles, starts, segEnd, density)
+	}
+
+	// No template (bounded grids, tiles that do not divide the side,
+	// wrapping radii): materialize the cover, then intersect.
+	tl.Cover(int(origin), s.cfg.Radius, &s.coverBuf)
+	ids := s.coverBuf.IDs
+	total := 0
+	switch {
+	case tileSpan == n:
+		// Contiguous directory: direct indexing.
+		base := tiles[0]
+		for i, tid := range ids {
+			pos := int(tid - base)
+			if pos < 0 || pos >= n {
+				continue
+			}
+			total += s.pushRun(starts, pos, segEnd, s.coverBuf.Full[i])
+		}
+	case n*16 <= tl.Tiles() && ascendingIDs(ids):
+		// Sparse directory, unwrapped cover: one bracketed walk. (A
+		// wrapped cover splits into segments whose id ranges can
+		// interleave, which would double-count — those origins take the
+		// merge below.)
+		lo, hi := ids[0], ids[len(ids)-1]
+		for pos := interpSearch(tiles, 0, lo, density); pos < n && tiles[pos] <= hi; pos++ {
+			overlap, full := tl.Classify(tiles[pos], int(origin), s.cfg.Radius)
+			if !overlap {
+				continue
+			}
+			total += s.pushRun(starts, pos, segEnd, full)
+		}
+	default:
+		// Merge join: cover tiles are emitted in ascending-id segments
+		// (the order only resets where the cover wraps around the
+		// torus), and the directory is sorted, so an interpolating
+		// cursor replaces a full binary search per tile.
+		pos := 0
+		prev := int32(-1)
+		for i, tid := range ids {
+			if tid < prev {
+				pos = 0 // cover wrapped: new ascending segment
+			}
+			prev = tid
+			pos = interpSearch(tiles, pos, tid, density)
+			if pos >= n || tiles[pos] != tid {
+				continue
+			}
+			total += s.pushRun(starts, pos, segEnd, s.coverBuf.Full[i])
+		}
+	}
+	return total
+}
+
+// pushRun appends directory entry pos as a tileRun and returns its
+// replica count. The run ends at the next entry's start (usually the
+// same cache line) or the segment end.
+func (s *TwoChoice) pushRun(starts []int32, pos int, segEnd int32, full bool) int {
+	start := starts[pos]
+	end := segEnd
+	if pos+1 < len(starts) {
+		end = starts[pos+1]
+	}
+	s.runs = append(s.runs, tileRun{start, end - start, full})
+	return int(end - start)
+}
+
+// collectRunsRows intersects the file's directory with the row-span
+// form of the cover template: one position jump per covered tile row
+// (interpolated on sparse directories, direct indexing on contiguous
+// ones) followed by a contiguous walk — the hot shape of the wide-world
+// request loop.
+func (s *TwoChoice) collectRunsRows(origin int32, tiles, starts []int32, segEnd int32, density float64) int {
+	n := len(tiles)
+	rows, utx, uty, per := s.cover.Rows(int(origin))
+	base := int(tiles[0])
+	dense := int(tiles[n-1])-base == n-1
+	total := 0
+	pos := 0
+	lastID := -1
+	for _, row := range rows {
+		ty := uty + int(row.Dty)
+		if ty >= per {
+			ty -= per
+		} else if ty < 0 {
+			ty += per
+		}
+		rowBase := ty * per
+		c0, c1 := utx+int(row.C0), utx+int(row.C1)
+		// Wrapped rows split into at most two absolute column spans.
+		var spans [2][2]int
+		ns := 1
+		switch {
+		case c0 < 0:
+			spans[0] = [2]int{c0 + per, per - 1}
+			spans[1] = [2]int{0, c1}
+			ns = 2
+		case c1 >= per:
+			spans[0] = [2]int{c0, per - 1}
+			spans[1] = [2]int{0, c1 - per}
+			ns = 2
+		default:
+			spans[0] = [2]int{c0, c1}
+		}
+		for si := 0; si < ns; si++ {
+			lo := rowBase + spans[si][0]
+			hi := rowBase + spans[si][1]
+			if dense {
+				p0, p1 := lo-base, hi-base
+				if p0 < 0 {
+					p0 = 0
+				}
+				if p1 > n-1 {
+					p1 = n - 1
+				}
+				for p := p0; p <= p1; p++ {
+					d := base + p - rowBase - utx
+					if d > int(row.C1) {
+						d -= per
+					} else if d < int(row.C0) {
+						d += per
+					}
+					total += s.pushRun(starts, p, segEnd, d >= int(row.F0) && d <= int(row.F1))
+				}
+				continue
+			}
+			if lo <= lastID {
+				pos = 0 // wrapped span: the cursor is past it
+			}
+			lastID = hi
+			pos = interpSearch(tiles, pos, int32(lo), density)
+			for ; pos < n && int(tiles[pos]) <= hi; pos++ {
+				d := int(tiles[pos]) - rowBase - utx
+				if d > int(row.C1) {
+					d -= per
+				} else if d < int(row.C0) {
+					d += per
+				}
+				total += s.pushRun(starts, pos, segEnd, d >= int(row.F0) && d <= int(row.F1))
+			}
+		}
+	}
+	return total
+}
+
+// ascendingIDs reports whether the cover ids form one strictly ascending
+// run (i.e. the cover did not wrap around the torus).
+func ascendingIDs(ids []int32) bool {
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// interpSearch returns the smallest i ≥ pos with tiles[i] ≥ tid. The
+// first probe interpolates by the directory's tile density (entries per
+// tile id), which lands within a few slots on the near-uniform
+// directories the placement produces; a doubling gallop brackets any
+// miss and a binary search finishes.
+func interpSearch(tiles []int32, pos int, tid int32, density float64) int {
+	n := len(tiles)
+	if pos >= n || tiles[pos] >= tid {
+		return pos
+	}
+	lo := pos // invariant: tiles[lo] < tid
+	hi := pos + 1 + int(float64(tid-tiles[pos])*density)
+	if hi >= n {
+		hi = n - 1
+	}
+	if tiles[hi] < tid {
+		lo = hi
+		step := 4
+		hi = lo + step
+		for hi < n && tiles[hi] < tid {
+			lo = hi
+			step <<= 1
+			hi = lo + step
+		}
+		if hi > n {
+			hi = n
+		}
+	}
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if tiles[mid] < tid {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// indexExactCandidates materializes S_j ∩ B_r(u) from the collected runs
+// (tile-major order): full-tile runs are copied wholesale, partial-tile
+// runs are distance-filtered. Equal as a set to exactCandidates.
+func (s *TwoChoice) indexExactCandidates(origin int32, dst []int32) []int32 {
+	nodes := s.tix.Nodes()
+	oy := int(origin) / s.gl
+	ox := int(origin) - oy*s.gl
+	for _, run := range s.runs {
+		span := nodes[run.start : run.start+run.n]
+		if run.full {
+			dst = append(dst, span...)
+			continue
+		}
+		for _, v := range span {
+			if s.distFrom(ox, oy, v) <= s.cfg.Radius {
+				dst = append(dst, v)
+			}
+		}
+	}
+	return dst
+}
+
+// distFrom computes the hop distance from coordinates (ox, oy) to node v
+// arithmetically — one division, no coordinate-table loads, which on
+// wide worlds turns a near-certain cache miss into a handful of ALU ops.
+// Identical to Grid.Dist by construction.
+func (s *TwoChoice) distFrom(ox, oy int, v int32) int {
+	vy := int(v) / s.gl
+	vx := int(v) - vy*s.gl
+	dx := ox - vx
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := oy - vy
+	if dy < 0 {
+		dy = -dy
+	}
+	if s.torus {
+		if w := s.gl - dx; w < dx {
+			dx = w
+		}
+		if w := s.gl - dy; w < dy {
+			dy = w
+		}
+	}
+	return dx + dy
+}
+
+// assignIndexed is the tile-index discipline for a bounded radius: the
+// candidate space is enumerated through the O((r/t+2)²) covered tiles.
+// Candidates are drawn by a two-stage sampler — a weighted draw over the
+// per-tile replica counts, then a uniform pick inside the tile's run —
+// with rejection of out-of-ball picks from partial tiles, which is
+// uniform over S_j ∩ B_r(u) exactly like the rejection samplers of the
+// non-indexed path. Distinct-candidate sampling and exhausted budgets
+// fall back to the materialized exact list.
+func (s *TwoChoice) assignIndexed(req Request, reps []int32, d int, loads *ballsbins.Loads, r *rand.Rand) Assignment {
+	// Dense files (|S_j| ≥ n/8, see cache.denseBitThreshold — the bound
+	// also sizes the bitmap arena) skip the tile walk entirely: a uniform
+	// ball cell accepted on a bitmap hit is uniform over S_j ∩ B_r(u)
+	// with acceptance ≈ |S_j|/n, and the bitmap probe is O(1). Their
+	// exact fallback enumerates the ball against the bitmap — dense
+	// files carry no tile runs at all.
+	if bits := s.tix.FileBits(int(req.File)); bits != nil {
+		if !s.cfg.WithoutReplacement && s.ball != nil {
+			if srv, ok := s.sampleFromBits(req, reps, bits, d, loads, r); ok {
+				return s.assignArith(req, srv, false)
+			}
+		}
+		s.candBuf = s.bitExactCandidates(int(req.Origin), bits, s.candBuf[:0])
+		pool, escalated := s.candBuf, false
+		if len(pool) == 0 {
+			if s.cfg.NoEscalate {
+				return backhaul(req)
+			}
+			pool, escalated = reps, true
+		}
+		return s.assignArith(req, s.pickFromPool(pool, d, loads, r), escalated)
+	}
+	total := s.collectRuns(req.Origin, req.File)
+	if total == 0 {
+		// No replica in any covered tile ⇒ S_j ∩ B_r(u) = ∅ exactly.
+		if s.cfg.NoEscalate {
+			return backhaul(req)
+		}
+		return s.assignArith(req, s.pickFromPool(reps, d, loads, r), true)
+	}
+	if !s.cfg.WithoutReplacement && total > 3*d {
+		if srv, ok := s.sampleFromRuns(req, total, d, loads, r); ok {
+			return s.assignArith(req, srv, false)
+		}
+	}
+	// Tiny run totals (the common shape for mid-popularity files) skip
+	// the rejection sampler: materializing ≤ 3d contiguous candidates
+	// and drawing from the pool is the same uniform law at fewer
+	// scattered reads. The materialization is also the sampler's
+	// budget-exhaustion fallback.
+	// Exact materialization: distinct-candidate sampling, or the two-stage
+	// sampler burned its budget on out-of-ball picks from partial tiles.
+	s.candBuf = s.indexExactCandidates(req.Origin, s.candBuf[:0])
+	pool, escalated := s.candBuf, false
+	if len(pool) == 0 {
+		if s.cfg.NoEscalate {
+			return backhaul(req)
+		}
+		pool, escalated = reps, true
+	}
+	return s.assignArith(req, s.pickFromPool(pool, d, loads, r), escalated)
+}
+
+// assignArith is assignmentTo with the hop count computed arithmetically
+// (no coordinate-table loads); identical output by construction.
+func (s *TwoChoice) assignArith(req Request, server int32, escalated bool) Assignment {
+	oy := int(req.Origin) / s.gl
+	ox := int(req.Origin) - oy*s.gl
+	return Assignment{
+		Server:    server,
+		Hops:      int32(s.distFrom(ox, oy, server)),
+		Escalated: escalated,
+	}
+}
+
+// sampleFromRuns draws the d candidates through the two-stage tile
+// sampler: a uniform index into the concatenated runs (equivalently a
+// replica-count-weighted tile draw followed by a uniform in-tile pick),
+// accepted outright for full tiles and distance-checked for partial
+// ones. Every replica in the run union is equally likely per try and
+// acceptance keeps exactly the in-ball ones, so accepted draws are
+// uniform over S_j ∩ B_r(u). Returns ok=false when the try budget is
+// exhausted first (the run union may hold no in-ball replica at all);
+// partial progress is discarded, which leaves the fallback's law intact.
+func (s *TwoChoice) sampleFromRuns(req Request, total, d int, loads *ballsbins.Loads, r *rand.Rand) (int32, bool) {
+	// Covered tiles overshoot the ball by less than a tile ring, so the
+	// acceptance rate is Ω(|ball| / |cover|) ≈ 1/2 whenever the
+	// intersection is non-empty; a small per-candidate budget suffices.
+	budget := 8*d + 8
+	nodes := s.tix.Nodes()
+	// Accept all d candidates before reading any load: the load vector
+	// reads are the trial's cache misses, and issuing them back to back
+	// lets them overlap instead of serializing behind each draw.
+	if cap(s.seenBuf) < d {
+		s.seenBuf = make([]int32, 0, d)
+	}
+	oy := int(req.Origin) / s.gl
+	ox := int(req.Origin) - oy*s.gl
+	cand := s.seenBuf[:0]
+	nodesArena := nodes
+	// Draw positions in mini-batches and only then read the node ids:
+	// the arena reads are this loop's cache misses, and issuing a batch
+	// back to back lets them overlap instead of serializing per try.
+	var off [4]int32
+	var vs [4]int32
+	for tries := 0; len(cand) < d; {
+		if tries >= budget {
+			return -1, false
+		}
+		// Full-width batches even when one candidate is missing: the
+		// surplus accepted draws are discarded (selection is value-
+		// independent, so the law stays uniform), and overlapping four
+		// arena reads beats serializing refills on low-acceptance files.
+		batch := len(off)
+		for k := 0; k < batch; k++ {
+			w := int32(r.IntN(total))
+			i := 0
+			for w >= s.runs[i].n {
+				w -= s.runs[i].n
+				i++
+			}
+			if s.runs[i].full {
+				off[k] = s.runs[i].start + w
+			} else {
+				off[k] = -(s.runs[i].start + w) - 1 // needs the distance check
+			}
+		}
+		for k := 0; k < batch; k++ {
+			o := off[k]
+			if o < 0 {
+				o = -o - 1
+			}
+			vs[k] = nodesArena[o]
+		}
+		for k := 0; k < batch; k++ {
+			tries++
+			if off[k] < 0 && s.distFrom(ox, oy, vs[k]) > s.cfg.Radius {
+				continue
+			}
+			if len(cand) < d {
+				cand = append(cand, vs[k])
+			}
+		}
+	}
+	s.seenBuf = cand
+	return pickLeastLoaded(cand, loads, r), true
+}
+
+// bitExactCandidates materializes S_j ∩ B_r(u) for a dense file by
+// enumerating the ball and keeping the bitmap hits — exact, and cheap
+// because dense files are the ones whose replica lists are enormous.
+func (s *TwoChoice) bitExactCandidates(origin int, bits []uint64, dst []int32) []int32 {
+	if s.ball != nil {
+		s.ballBuf = s.ball.Append(origin, s.ballBuf[:0])
+	} else {
+		s.ballBuf = s.g.Ball(origin, s.cfg.Radius, s.ballBuf[:0])
+	}
+	for _, v := range s.ballBuf {
+		if bits[v>>6]&(1<<(uint(v)&63)) != 0 {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// sampleFromBits draws the d candidates by ball-cell rejection against a
+// dense file's node bitmap: a uniform node of B_r(u) (O(1) through the
+// ball template) is accepted when its bit is set — the sampleFromBall
+// law with an O(1) membership probe instead of a cached-list scan.
+// Returns ok=false when the try budget is exhausted (the caller falls
+// back to the exact tile walk; partial progress is discarded).
+func (s *TwoChoice) sampleFromBits(req Request, reps []int32, bits []uint64, d int, loads *ballsbins.Loads, r *rand.Rand) (int32, bool) {
+	budget := 6*d*(s.g.N()/(len(reps)+1)+1) + 8
+	if cap(s.seenBuf) < d {
+		s.seenBuf = make([]int32, 0, d)
+	}
+	cand := s.seenBuf[:0]
+	oy := int(req.Origin) / s.gl
+	ox := int(req.Origin) - oy*s.gl
+	// Low-acceptance files probe in full-width mini-batches (surplus
+	// accepts are discarded; the law stays uniform) so the bitmap word
+	// reads — this loop's cache misses — overlap instead of serializing
+	// refills; high-acceptance files draw only what they need.
+	lowAcceptance := 2*len(reps) < s.g.N()
+	var vs [4]int32
+	var ws [4]uint64
+	for tries := 0; len(cand) < d; {
+		if tries >= budget {
+			return -1, false
+		}
+		batch := d - len(cand)
+		if batch > len(vs) || lowAcceptance {
+			batch = len(vs)
+		}
+		for k := 0; k < batch; k++ {
+			vs[k] = s.ball.NodeAt(ox, oy, r.IntN(s.ballN))
+		}
+		for k := 0; k < batch; k++ {
+			ws[k] = bits[vs[k]>>6]
+		}
+		for k := 0; k < batch; k++ {
+			tries++
+			if ws[k]&(1<<(uint(vs[k])&63)) == 0 {
+				continue
+			}
+			if len(cand) < d {
+				cand = append(cand, vs[k])
+			}
+		}
+	}
+	s.seenBuf = cand
+	return pickLeastLoaded(cand, loads, r), true
+}
+
+// pickLeastLoaded returns the least-loaded candidate, breaking ties
+// uniformly (reservoir over minima, as foldCandidate does, but with the
+// incumbent's load cached so each candidate costs one load read).
+func pickLeastLoaded(cand []int32, loads *ballsbins.Loads, r *rand.Rand) int32 {
+	best := cand[0]
+	bestLoad := loads.Load(int(best))
+	ties := 1
+	for _, v := range cand[1:] {
+		lv := loads.Load(int(v))
+		switch {
+		case lv < bestLoad:
+			best, bestLoad, ties = v, lv, 1
+		case lv == bestLoad:
+			ties++
+			if r.IntN(ties) == 0 {
+				best = v
+			}
+		}
+	}
+	return best
 }
 
 // sampleByRejection draws the d candidates by rejection from the replica
@@ -318,7 +912,11 @@ func (o *LeastLoadedOracle) Assign(req Request, loads *ballsbins.Loads, r *rand.
 	pool := reps
 	escalated := false
 	if s.cfg.Radius != RadiusUnbounded {
-		s.candBuf = s.exactCandidates(req, reps, s.candBuf[:0])
+		if s.tix != nil {
+			s.candBuf = s.indexedCandidates(req, s.candBuf[:0])
+		} else {
+			s.candBuf = s.exactCandidates(req, reps, s.candBuf[:0])
+		}
 		pool = s.candBuf
 		if len(pool) == 0 {
 			pool, escalated = reps, true

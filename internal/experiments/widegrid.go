@@ -36,6 +36,7 @@ func WideGrid(opt Options) (*Table, error) {
 		Notes: []string{
 			fmt.Sprintf("trials/point = %d; preset %s sides %v", trials, opt.Preset, sides),
 			"split-stream request discipline + streaming metrics: request path allocates nothing, no O(n) metric vector is materialized",
+			"tile-bucketed spatial replica index (IndexTiles): S_j ∩ B_r(u) enumerated per covered tile, making the Side=1000 two-choices trial sub-second",
 			"expected shape: Strategy I grows with log n; Strategy II stays near log log n at cost Θ(r)",
 		},
 	}
@@ -54,6 +55,7 @@ func WideGrid(opt Options) (*Table, error) {
 				Strategy: sim.StrategySpec{Kind: k.kind, Radius: wideGridRadius(side)},
 				Metrics:  sim.MetricsStreaming,
 				Streams:  sim.StreamsSplit,
+				Index:    sim.IndexTiles,
 				Seed:     opt.seed() + uint64(1000*int(k.kind)+side),
 			})
 		}

@@ -51,6 +51,10 @@ type Grid struct {
 	// xOf/yOf memoize Coord: distance math is the innermost loop of every
 	// strategy, and two table loads beat two integer divisions there.
 	xOf, yOf []int32
+	// xy packs both coordinates (x<<16 | y) so Dist touches one cache
+	// line per node instead of two — the lookups are random-access over
+	// Θ(n) tables, so at wide-world sizes the miss count is the cost.
+	xy []int32
 }
 
 // New returns an L×L lattice with the given topology.
@@ -62,9 +66,16 @@ func New(l int, topo Topology) *Grid {
 	g := &Grid{l: l, n: l * l, topo: topo}
 	g.xOf = make([]int32, g.n)
 	g.yOf = make([]int32, g.n)
+	if l < 1<<15 { // both packed halves must stay non-negative
+		g.xy = make([]int32, g.n)
+	}
 	for u := 0; u < g.n; u++ {
-		g.xOf[u] = int32(u % l)
-		g.yOf[u] = int32(u / l)
+		x, y := int32(u%l), int32(u/l)
+		g.xOf[u] = x
+		g.yOf[u] = y
+		if g.xy != nil {
+			g.xy[u] = x<<16 | y
+		}
 	}
 	return g
 }
@@ -123,6 +134,10 @@ func (g *Grid) axisDist(a, b int) int {
 
 // Dist returns the shortest-path hop distance between nodes u and v.
 func (g *Grid) Dist(u, v int) int {
+	if g.xy != nil {
+		pu, pv := g.xy[u], g.xy[v]
+		return g.axisDist(int(pu>>16), int(pv>>16)) + g.axisDist(int(pu&0xffff), int(pv&0xffff))
+	}
 	ux, uy := g.Coord(u)
 	vx, vy := g.Coord(v)
 	return g.axisDist(ux, vx) + g.axisDist(uy, vy)

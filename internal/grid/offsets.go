@@ -51,14 +51,21 @@ func (t *BallTable) Size() int { return len(t.dx) }
 // Node returns the i-th node of B_r(u) (Ball enumeration order) in O(1),
 // without materializing the ball. i must lie in [0, Size()).
 func (t *BallTable) Node(u, i int) int32 {
+	return t.NodeAt(int(t.g.xOf[u]), int(t.g.yOf[u]), i)
+}
+
+// NodeAt is Node with the origin's coordinates supplied by the caller —
+// no coordinate-table loads, which matters in rejection loops that probe
+// the same origin many times.
+func (t *BallTable) NodeAt(ux, uy, i int) int32 {
 	l := t.g.l
-	x := int(t.g.xOf[u]) + int(t.dx[i])
+	x := ux + int(t.dx[i])
 	if x >= l {
 		x -= l
 	} else if x < 0 {
 		x += l
 	}
-	y := int(t.g.yOf[u]) + int(t.dy[i])
+	y := uy + int(t.dy[i])
 	if y >= l {
 		y -= l
 	} else if y < 0 {

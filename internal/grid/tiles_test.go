@@ -1,0 +1,222 @@
+package grid
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// bruteCover computes, for every tile, whether it intersects B_r(u) and
+// whether it is fully inside, by scanning every node.
+func bruteCover(g *Grid, tl *Tiling, u, r int) (overlap, full map[int32]bool) {
+	overlap = map[int32]bool{}
+	full = map[int32]bool{}
+	inBall := make(map[int32]int) // tile → in-ball node count
+	total := make(map[int32]int)  // tile → node count
+	for v := 0; v < g.N(); v++ {
+		tid := tl.TileOf(int32(v))
+		total[tid]++
+		if g.Dist(u, v) <= r {
+			inBall[tid]++
+		}
+	}
+	for tid, c := range inBall {
+		if c > 0 {
+			overlap[tid] = true
+			full[tid] = c == total[tid]
+		}
+	}
+	return overlap, full
+}
+
+// coverConfigs spans topologies, divisible and non-divisible tile sizes,
+// and radii from tiny to wrapping.
+func coverConfigs() []struct {
+	l, t, r int
+	topo    Topology
+} {
+	return []struct {
+		l, t, r int
+		topo    Topology
+	}{
+		{12, 3, 2, Torus},
+		{12, 3, 4, Torus},
+		{12, 4, 3, Torus},
+		{12, 5, 4, Torus}, // t does not divide L
+		{13, 4, 5, Torus}, // odd side
+		{10, 3, 7, Torus}, // cover wraps onto itself
+		{9, 2, 8, Torus},  // 2r+1 >= L: whole torus
+		{12, 3, 2, Bounded},
+		{12, 5, 6, Bounded},
+		{7, 7, 3, Bounded}, // single tile
+		{16, 1, 5, Torus},  // tile size 1
+	}
+}
+
+func TestCoverMatchesBruteForce(t *testing.T) {
+	for _, c := range coverConfigs() {
+		g := New(c.l, c.topo)
+		tl := g.NewTiling(c.t)
+		var buf CoverBuf
+		for _, u := range []int{0, 1, c.l - 1, g.N() / 2, g.N() - 1, g.N() / 3} {
+			tl.Cover(u, c.r, &buf)
+			wantOverlap, wantFull := bruteCover(g, tl, u, c.r)
+			seen := map[int32]bool{}
+			for i, tid := range buf.IDs {
+				if seen[tid] {
+					t.Fatalf("l=%d t=%d r=%d %v u=%d: tile %d emitted twice", c.l, c.t, c.r, c.topo, u, tid)
+				}
+				seen[tid] = true
+				if buf.Full[i] && !wantFull[tid] {
+					t.Errorf("l=%d t=%d r=%d %v u=%d: tile %d marked full but has out-of-ball cells", c.l, c.t, c.r, c.topo, u, tid)
+				}
+			}
+			// Every overlapping tile must be covered (no in-ball node missed);
+			// and every tile the brute force calls full must be marked full
+			// (partial misclassification would only cost distance checks, but
+			// the classification is exact, so pin it).
+			for tid := range wantOverlap {
+				if !seen[tid] {
+					t.Fatalf("l=%d t=%d r=%d %v u=%d: overlapping tile %d not covered", c.l, c.t, c.r, c.topo, u, tid)
+				}
+			}
+			for i, tid := range buf.IDs {
+				if wantFull[tid] && !buf.Full[i] {
+					t.Errorf("l=%d t=%d r=%d %v u=%d: tile %d is fully in-ball but marked partial", c.l, c.t, c.r, c.topo, u, tid)
+				}
+			}
+		}
+	}
+}
+
+// TestCoverTableMatchesCover: wherever the template applies it must
+// reproduce the per-query cover exactly (as a tile → full map).
+func TestCoverTableMatchesCover(t *testing.T) {
+	applied := 0
+	for _, c := range coverConfigs() {
+		g := New(c.l, c.topo)
+		tl := g.NewTiling(c.t)
+		ct := tl.NewCoverTable(c.r)
+		if ct == nil {
+			continue
+		}
+		applied++
+		var direct, templ CoverBuf
+		for u := 0; u < g.N(); u++ {
+			tl.Cover(u, c.r, &direct)
+			ct.Cover(u, &templ)
+			want := map[int32]bool{}
+			for i, tid := range direct.IDs {
+				want[tid] = direct.Full[i]
+			}
+			if len(templ.IDs) != len(direct.IDs) {
+				t.Fatalf("l=%d t=%d r=%d u=%d: template %d tiles, direct %d", c.l, c.t, c.r, u, len(templ.IDs), len(direct.IDs))
+			}
+			for i, tid := range templ.IDs {
+				f, ok := want[tid]
+				if !ok || f != templ.Full[i] {
+					t.Fatalf("l=%d t=%d r=%d u=%d: template tile %d full=%v, direct %v (present %v)", c.l, c.t, c.r, u, tid, templ.Full[i], f, ok)
+				}
+			}
+		}
+	}
+	if applied == 0 {
+		t.Fatal("no config exercised the cover template")
+	}
+	for _, bad := range []struct {
+		l, t, r int
+		topo    Topology
+	}{
+		{12, 3, 2, Bounded}, // bounded: clipping is origin-dependent
+		{12, 5, 2, Torus},   // t does not divide L
+		{10, 3, 7, Torus},   // 2(r+t-1) > L: wrapped distances diverge
+		{10, 1, 5, Torus},   // 2(r+t-1) = L: the antipodal tile would be emitted twice
+	} {
+		if New(bad.l, bad.topo).NewTiling(bad.t).NewCoverTable(bad.r) != nil {
+			t.Errorf("l=%d t=%d r=%d %v: template should not apply", bad.l, bad.t, bad.r, bad.topo)
+		}
+	}
+}
+
+// TestTilingOrder: Order is a permutation of all nodes, grouped by
+// ascending tile with ascending node ids inside each group.
+func TestTilingOrder(t *testing.T) {
+	for _, c := range coverConfigs() {
+		g := New(c.l, c.topo)
+		tl := g.NewTiling(c.t)
+		order := tl.Order()
+		if len(order) != g.N() {
+			t.Fatalf("order length %d, want %d", len(order), g.N())
+		}
+		seen := make([]bool, g.N())
+		lastTile, lastNode := int32(-1), int32(-1)
+		for _, u := range order {
+			if seen[u] {
+				t.Fatalf("node %d repeated in order", u)
+			}
+			seen[u] = true
+			tid := tl.TileOf(u)
+			switch {
+			case tid < lastTile:
+				t.Fatalf("tile order regressed: %d after %d", tid, lastTile)
+			case tid > lastTile:
+				lastTile, lastNode = tid, u
+			case u < lastNode:
+				t.Fatalf("node order regressed inside tile %d: %d after %d", tid, u, lastNode)
+			default:
+				lastNode = u
+			}
+		}
+	}
+}
+
+// TestTileOfGeometry: TileOf matches coordinate arithmetic and every tile
+// is a contiguous t×t (or clipped) block.
+func TestTileOfGeometry(t *testing.T) {
+	g := New(11, Torus)
+	tl := g.NewTiling(4) // 11 = 4+4+3: clipped last tiles
+	if tl.Tiles() != 9 {
+		t.Fatalf("Tiles() = %d, want 9", tl.Tiles())
+	}
+	for u := 0; u < g.N(); u++ {
+		x, y := g.Coord(u)
+		want := int32((y/4)*3 + x/4)
+		if tl.TileOf(int32(u)) != want {
+			t.Fatalf("TileOf(%d) = %d, want %d", u, tl.TileOf(int32(u)), want)
+		}
+	}
+}
+
+// TestCoverRandomized cross-checks random (u, r) pairs on random lattices
+// against the brute force, including exhaustive in-ball membership: the
+// union of covered tiles must contain the whole ball, with full tiles
+// containing no out-of-ball cell.
+func TestCoverRandomized(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	var buf CoverBuf
+	for it := 0; it < 200; it++ {
+		l := 5 + rng.IntN(20)
+		topo := Topology(rng.IntN(2))
+		g := New(l, topo)
+		ts := 1 + rng.IntN(l)
+		tl := g.NewTiling(ts)
+		u := rng.IntN(g.N())
+		r := rng.IntN(l + 2)
+		tl.Cover(u, r, &buf)
+		covered := map[int32]bool{}
+		full := map[int32]bool{}
+		for i, tid := range buf.IDs {
+			covered[tid] = true
+			full[tid] = buf.Full[i]
+		}
+		for v := 0; v < g.N(); v++ {
+			tid := tl.TileOf(int32(v))
+			in := g.Dist(u, v) <= r
+			if in && !covered[tid] {
+				t.Fatalf("l=%d t=%d r=%d u=%d %v: in-ball node %d in uncovered tile %d", l, ts, r, u, topo, v, tid)
+			}
+			if !in && full[tid] {
+				t.Fatalf("l=%d t=%d r=%d u=%d %v: out-of-ball node %d in full tile %d", l, ts, r, u, topo, v, tid)
+			}
+		}
+	}
+}

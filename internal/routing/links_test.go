@@ -1,0 +1,39 @@
+package routing
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// TestAppendLinksMatchesRoute: the link id sequence must be exactly the
+// links Route increments — cross-checked by replaying AppendLinks into a
+// counter map and comparing against the LinkLoads delta.
+func TestAppendLinksMatchesRoute(t *testing.T) {
+	for _, topo := range []grid.Topology{grid.Torus, grid.Bounded} {
+		g := grid.New(9, topo)
+		rng := rand.New(rand.NewPCG(3, 4))
+		var buf []uint64
+		for it := 0; it < 300; it++ {
+			src, dst := rng.IntN(g.N()), rng.IntN(g.N())
+			l := NewLinkLoads(g)
+			hops := l.Route(src, dst)
+			buf = AppendLinks(g, src, dst, buf[:0])
+			if len(buf) != hops || hops != g.Dist(src, dst) {
+				t.Fatalf("%v %d->%d: %d link ids, %d hops, dist %d", topo, src, dst, len(buf), hops, g.Dist(src, dst))
+			}
+			counts := map[uint64]int64{}
+			for _, id := range buf {
+				counts[id]++
+			}
+			for u := 0; u < g.N(); u++ {
+				for d := East; d < numDirs; d++ {
+					if got := counts[LinkID(u, d)]; got != l.Load(u, d) {
+						t.Fatalf("%v %d->%d link (%d,%v): AppendLinks %d vs Route %d", topo, src, dst, u, d, got, l.Load(u, d))
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package sim
+
+import "testing"
+
+// TestIndexTilesDeterministic: the tile-index discipline is a first-
+// class citizen of the determinism contract — reused runner, fresh
+// runner and pooled World.RunTrial agree, and reruns reproduce — across
+// the strategy × miss-policy matrix and both stream disciplines.
+func TestIndexTilesDeterministic(t *testing.T) {
+	for _, streams := range []Streams{StreamsInterleaved, StreamsSplit} {
+		for _, base := range pipelineMatrix() {
+			cfg := base
+			cfg.Streams = streams
+			cfg.Index = IndexTiles
+			w, err := Compile(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reused := w.NewRunner()
+			for trial := uint64(0); trial < 2; trial++ {
+				want := reused.RunTrial(trial)
+				if got := w.NewRunner().RunTrial(trial); got != want {
+					t.Fatalf("%s/%s/%s t=%d: fresh runner %+v != reused %+v",
+						cfg.Strategy.Kind, cfg.MissPolicy, streams, trial, got, want)
+				}
+				if got := w.RunTrial(trial); got != want {
+					t.Fatalf("%s/%s/%s t=%d: pooled %+v != reused %+v",
+						cfg.Strategy.Kind, cfg.MissPolicy, streams, trial, got, want)
+				}
+				if got := reused.RunTrial(trial); got != want {
+					t.Fatalf("%s/%s/%s t=%d: rerun %+v != first %+v",
+						cfg.Strategy.Kind, cfg.MissPolicy, streams, trial, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestIndexTilesNoOpWithoutBoundedRadius: for Nearest and for unbounded
+// radii the index has nothing to serve, so IndexTiles must be a true
+// no-op — bit-identical results to IndexNone, not merely equivalent.
+func TestIndexTilesNoOpWithoutBoundedRadius(t *testing.T) {
+	for _, cfg := range []Config{
+		{Side: 10, K: 120, M: 2, Seed: 4, Strategy: StrategySpec{Kind: Nearest}},
+		{Side: 10, K: 120, M: 2, Seed: 4, Strategy: StrategySpec{Kind: TwoChoices, Radius: -1}},
+		{Side: 10, K: 120, M: 2, Seed: 4, Strategy: StrategySpec{Kind: TwoChoices, Radius: 99}},
+		{Side: 10, K: 120, M: 2, Seed: 4, Strategy: StrategySpec{Kind: Oracle, Radius: -1}},
+	} {
+		plain, err := RunTrial(cfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		icfg := cfg
+		icfg.Index = IndexTiles
+		w, err := Compile(icfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.tiling != nil {
+			t.Fatalf("%s r=%d: tiling built for a configuration the index cannot serve",
+				cfg.Strategy.Kind, cfg.Strategy.Radius)
+		}
+		if got := w.RunTrial(0); got != plain {
+			t.Fatalf("%s r=%d: IndexTiles diverged on a no-op config:\n got %+v\nwant %+v",
+				cfg.Strategy.Kind, cfg.Strategy.Radius, got, plain)
+		}
+	}
+}
+
+// TestIndexTilesDiffersFromIndexNone documents that the tile index is a
+// distinct seeded process on bounded radii (its candidate sampling
+// consumes the RNG differently), so nobody mistakes it for a
+// bit-compatible drop-in.
+func TestIndexTilesDiffersFromIndexNone(t *testing.T) {
+	cfg := Config{Side: 12, K: 150, M: 2, Seed: 0x63,
+		Strategy: StrategySpec{Kind: TwoChoices, Radius: 3}}
+	plain, err := RunTrial(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Index = IndexTiles
+	tiles, err := RunTrial(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain == tiles {
+		t.Fatalf("IndexNone and IndexTiles produced identical trials %+v — disciplines collapsed?", plain)
+	}
+}
+
+// TestIndexValidationAndParse covers the knob's plumbing.
+func TestIndexValidationAndParse(t *testing.T) {
+	bad := Config{Side: 5, K: 10, M: 1, Index: IndexMode(9)}
+	if _, err := Compile(bad); err == nil {
+		t.Error("unknown index mode accepted")
+	}
+	for in, want := range map[string]IndexMode{"": IndexNone, "none": IndexNone, "tiles": IndexTiles} {
+		got, err := ParseIndex(in)
+		if err != nil || got != want {
+			t.Errorf("ParseIndex(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseIndex("bogus"); err == nil {
+		t.Error("bogus index mode accepted")
+	}
+	if IndexNone.String() != "none" || IndexTiles.String() != "tiles" {
+		t.Errorf("String(): %v/%v", IndexNone, IndexTiles)
+	}
+}
+
+// TestIndexTilesScalarsPlausible: cross-discipline statistical sanity —
+// the tile index changes trajectories, not distributions, so per-trial
+// scalars must stay in the same regime as IndexNone over a small batch.
+func TestIndexTilesScalarsPlausible(t *testing.T) {
+	// Split streams: the request sequence then comes from dedicated
+	// generation streams, so it is identical across index disciplines
+	// and the escalation fraction (placement- and request-determined)
+	// must match exactly. Under interleaved streams the index's
+	// different RNG consumption would shift subsequent requests.
+	base := Config{Side: 20, K: 300, M: 3, Seed: 11, Streams: StreamsSplit,
+		Strategy: StrategySpec{Kind: TwoChoices, Radius: 4}}
+	var plain, tiles Aggregate
+	for trial := uint64(0); trial < 20; trial++ {
+		r1, err := RunTrial(base, trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain.Add(r1)
+		icfg := base
+		icfg.Index = IndexTiles
+		r2, err := RunTrial(icfg, trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tiles.Add(r2)
+	}
+	// Means within 4 pooled standard errors; the escalation fraction is
+	// RNG-free given the placement, so it must match exactly.
+	if d := plain.MaxLoad.Mean() - tiles.MaxLoad.Mean(); d > 4*(plain.MaxLoad.SE()+tiles.MaxLoad.SE())+1e-9 || -d > 4*(plain.MaxLoad.SE()+tiles.MaxLoad.SE())+1e-9 {
+		t.Errorf("max-load means diverge: %v vs %v", plain.MaxLoad.Mean(), tiles.MaxLoad.Mean())
+	}
+	if plain.Escalated.Mean() != tiles.Escalated.Mean() {
+		t.Errorf("escalation fractions diverge: %v vs %v (placement-determined, must be exact)",
+			plain.Escalated.Mean(), tiles.Escalated.Mean())
+	}
+}
+
+// TestWideWorldIndexedTrial is the scaled-down widegrid acceptance check
+// under the tile index: multiple chunk boundaries, streaming metrics,
+// split streams, allocation-free steady state.
+func TestWideWorldIndexedTrial(t *testing.T) {
+	side := 120
+	if testing.Short() {
+		side = 60
+	}
+	cfg := Config{
+		Side: side, K: 4000, M: 4, Seed: 9,
+		Strategy: StrategySpec{Kind: TwoChoices, Radius: 16},
+		Metrics:  MetricsStreaming,
+		Streams:  StreamsSplit,
+		Index:    IndexTiles,
+	}
+	w, err := Compile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.NewRunner()
+	res := r.RunTrial(0)
+	if res.Requests != side*side || res.MaxLoad == 0 || res.HopMax == 0 {
+		t.Fatalf("implausible wide indexed trial %+v", res)
+	}
+	if !raceEnabled {
+		if n := testing.AllocsPerRun(2, func() { r.RunTrial(1) }); n != 0 {
+			t.Errorf("wide indexed trial allocates %.1f/op, want 0", n)
+		}
+	}
+}

@@ -132,6 +132,7 @@ func TestMetricsModesAgreeOnScalars(t *testing.T) {
 				// Blank the mode-specific extras; the scalars must match.
 				got.MaxLinkLoad, got.LinkCongestion = 0, 0
 				got.Streamed, got.HopMax, got.HopStd, got.LoadP99 = false, 0, 0, 0
+				got.LinkMaxApprox = 0
 				if got != want {
 					t.Fatalf("%s/%s/%s metrics=%s: scalars %+v != %+v",
 						cfg.Strategy.Kind, cfg.MissPolicy, streams, mode, got, want)
@@ -320,6 +321,12 @@ func TestRunTrialSteadyStateAllocs(t *testing.T) {
 		{"split-scalar", func(c *Config) { c.Streams = StreamsSplit }},
 		{"split-streaming", func(c *Config) { c.Streams = StreamsSplit; c.Metrics = MetricsStreaming }},
 		{"interleaved-streaming", func(c *Config) { c.Metrics = MetricsStreaming }},
+		{"tiles-scalar", func(c *Config) { c.Index = IndexTiles }},
+		{"tiles-split-streaming", func(c *Config) {
+			c.Index = IndexTiles
+			c.Streams = StreamsSplit
+			c.Metrics = MetricsStreaming
+		}},
 	} {
 		cfg := paperScaleCfg()
 		variant.mut(&cfg)

@@ -209,6 +209,50 @@ func ParseStreams(s string) (Streams, error) {
 	return 0, fmt.Errorf("sim: unknown streams discipline %q (want interleaved or split)", s)
 }
 
+// IndexMode selects the candidate-enumeration discipline of the
+// radius-bounded choice strategies.
+type IndexMode int
+
+const (
+	// IndexNone is the PR 3 discipline: rejection sampling from the
+	// denser side of S_j ∩ B_r(u) with an exact-filter fallback that
+	// costs O(min(|S_j|, |B_r|)) per miss. Bit-compatible with every
+	// pinned golden. Default.
+	IndexNone IndexMode = iota
+	// IndexTiles compiles a tile-bucketed spatial replica index into the
+	// world (cache.TileIndex over grid.Tiling): S_j ∩ B_r(u) is
+	// enumerated by walking only the O((r/t+2)²) tiles overlapping the
+	// ball, and candidates are drawn by a two-stage sampler (replica-
+	// count-weighted tile draw, then uniform within the tile) — the same
+	// uniform law as IndexNone but a distinct seeded process, pinned by
+	// its own golden matrix. This is what makes 10⁶-node bounded-radius
+	// trials sub-second; it is a no-op for Nearest and unbounded radii.
+	IndexTiles
+)
+
+// String implements fmt.Stringer.
+func (m IndexMode) String() string {
+	switch m {
+	case IndexNone:
+		return "none"
+	case IndexTiles:
+		return "tiles"
+	default:
+		return fmt.Sprintf("IndexMode(%d)", int(m))
+	}
+}
+
+// ParseIndex converts a CLI name.
+func ParseIndex(s string) (IndexMode, error) {
+	switch s {
+	case "none", "":
+		return IndexNone, nil
+	case "tiles":
+		return IndexTiles, nil
+	}
+	return 0, fmt.Errorf("sim: unknown index mode %q (want none or tiles)", s)
+}
+
 // Config declares one simulated world. The zero value is not runnable; use
 // the documented fields (Side, K, M are mandatory).
 type Config struct {
@@ -241,6 +285,9 @@ type Config struct {
 	// Streams selects the request-phase RNG discipline (zero value:
 	// StreamsInterleaved; see Streams).
 	Streams Streams
+	// Index selects the candidate-enumeration discipline for bounded-
+	// radius strategies (zero value: IndexNone; see IndexMode).
+	Index IndexMode
 	// CollectLinks is the pre-Metrics spelling of MetricsLinks, kept for
 	// compatibility: it upgrades MetricsScalar to MetricsLinks.
 	CollectLinks bool
@@ -266,6 +313,9 @@ func (c Config) validate() error {
 	}
 	if c.Streams < StreamsInterleaved || c.Streams > StreamsSplit {
 		return fmt.Errorf("sim: unknown streams discipline %d", int(c.Streams))
+	}
+	if c.Index < IndexNone || c.Index > IndexTiles {
+		return fmt.Errorf("sim: unknown index mode %d", int(c.Index))
 	}
 	if c.CollectLinks && c.Metrics == MetricsStreaming {
 		return fmt.Errorf("sim: CollectLinks materializes per-link loads; it cannot combine with MetricsStreaming")
@@ -294,6 +344,15 @@ type Result struct {
 	HopMax   int     // longest single delivery path (hops)
 	HopStd   float64 // sample std dev of per-request hops
 	LoadP99  int     // 99th-percentile final node load
+	// LinkMaxApprox upper-bounds the busiest directed link's traffic via
+	// a space-saving heavy-hitter sketch over link ids (stats.
+	// SpaceSaving): ≥ the exact MetricsLinks maximum, exceeding it by at
+	// most totalHops/sketch-capacity, and exact on worlds whose active
+	// link count fits the sketch. Reported while the link count stays
+	// within the sketch's meaningful range (n ≤ 16·1024); beyond that it
+	// is 0 — a k-counter summary of near-uniform wide-world link loads
+	// could only report noise (see world.go's linkSketchMaxN).
+	LinkMaxApprox int64
 }
 
 // lastWorld memoizes the most recently compiled world, so callers that
@@ -359,9 +418,10 @@ type Aggregate struct {
 	LinkCongestion stats.Summary
 
 	// Streaming metrics (only meaningful in MetricsStreaming mode).
-	HopMax  stats.Summary
-	HopStd  stats.Summary
-	LoadP99 stats.Summary
+	HopMax        stats.Summary
+	HopStd        stats.Summary
+	LoadP99       stats.Summary
+	LinkMaxApprox stats.Summary
 }
 
 // Add folds one trial result into the aggregate.
@@ -382,6 +442,7 @@ func (a *Aggregate) Add(r Result) {
 		a.HopMax.Add(float64(r.HopMax))
 		a.HopStd.Add(r.HopStd)
 		a.LoadP99.Add(float64(r.LoadP99))
+		a.LinkMaxApprox.Add(float64(r.LinkMaxApprox))
 	}
 }
 
@@ -398,6 +459,7 @@ func (a *Aggregate) Merge(o Aggregate) {
 	a.HopMax.Merge(o.HopMax)
 	a.HopStd.Merge(o.HopStd)
 	a.LoadP99.Merge(o.LoadP99)
+	a.LinkMaxApprox.Merge(o.LinkMaxApprox)
 }
 
 // String renders the headline metrics.

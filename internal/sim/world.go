@@ -21,6 +21,21 @@ import (
 // per-chunk loop overhead vanishes.
 const defaultChunk = 1024
 
+// linkSketchCap is the capacity of the streaming mode's space-saving
+// link sketch (ROADMAP item: approximate max-link-load at O(1) memory).
+// Worlds with ≤ 1024 active directed links get exact counts; wider
+// worlds an upper bound within totalHops/1024.
+const linkSketchCap = 1 << 10
+
+// linkSketchMaxN gates the sketch: it runs while the directed-link
+// count 4n stays within 64× the sketch capacity. Beyond that a k-counter
+// heavy-hitter summary is pure churn — its guarantee degrades to
+// "within totalHops/k", which on near-uniform torus link loads dwarfs
+// any real maximum (meaningful wide-world link accounting needs Ω(n)
+// counters, i.e. MetricsLinks) — and the O(totalHops) feed would
+// dominate the trial. Out-of-range trials report LinkMaxApprox = 0.
+const linkSketchMaxN = 16 * linkSketchCap
+
 // loadHistBound is the baseline resolution of the streaming load
 // histogram. The actual bound scales with the mean per-node load (see
 // Compile), so heavy-load configs (Requests ≫ n) keep exact quantiles;
@@ -50,9 +65,10 @@ type World struct {
 	fileSrc      xrand.Source // namespace 4: split-discipline file streams
 	assignSrc    xrand.Source // namespace 5: split-discipline assignment streams
 	nReq         int
-	metrics      MetricsMode // resolved (CollectLinks folded in)
-	chunk        int         // request-pipeline block size (tests override)
-	loadBound    int         // streaming load-histogram bound
+	metrics      MetricsMode  // resolved (CollectLinks folded in)
+	chunk        int          // request-pipeline block size (tests override)
+	loadBound    int          // streaming load-histogram bound
+	tiling       *grid.Tiling // spatial-index geometry (IndexTiles, bounded radius)
 
 	runners sync.Pool // *Runner recycling for the RunTrial convenience path
 }
@@ -83,6 +99,15 @@ func Compile(cfg Config) (*World, error) {
 	w.nReq = cfg.Requests
 	if w.nReq == 0 {
 		w.nReq = w.g.N()
+	}
+	// The spatial replica index applies to bounded-radius choice
+	// strategies; the tile side tracks the radius (t ∈ [r/3, r], see
+	// tileSize) so a ball cover spans a handful of tiles whose footprint
+	// scales with |B_r|.
+	if cfg.Index == IndexTiles {
+		if r, ok := indexedRadius(cfg, w.g); ok {
+			w.tiling = w.g.NewTiling(tileSize(cfg.Side, r))
+		}
 	}
 	// Size the streaming load histogram to the regime: 32× the mean
 	// per-node load on top of the baseline keeps quantiles exact far past
@@ -183,14 +208,55 @@ type Runner struct {
 	// Streaming-metrics accumulators (MetricsStreaming only).
 	hopAcc  *stats.Accumulator
 	loadAcc *stats.Accumulator
+	links64 *stats.SpaceSaving // link heavy hitters → Result.LinkMaxApprox
+	linkBuf []uint64           // per-request link ids of the XY route
+}
+
+// tileSize picks the index tile side for radius r: the largest divisor
+// of the lattice side in [r/3, r], falling back to r/2 when none
+// divides. Divisibility makes the precomputed cover template apply
+// (uniform tiles, t | L); within the admissible band, larger tiles won
+// the wide-world sweep — fewer cover rows to intersect against the
+// per-file directories outweighs the extra rejection sampling on
+// partial tiles (see docs/perf.md for the measured tradeoff).
+func tileSize(side, r int) int {
+	best := 0
+	for t := max(1, r/3); t <= max(1, r); t++ {
+		if side%t == 0 {
+			best = t
+		}
+	}
+	if best == 0 {
+		return max(1, r/2)
+	}
+	return best
+}
+
+// indexedRadius reports the proximity radius the spatial index would
+// serve, and whether the configured strategy has one (choice-based, with
+// an effective bounded radius).
+func indexedRadius(cfg Config, g *grid.Grid) (int, bool) {
+	switch cfg.Strategy.Kind {
+	case TwoChoices, OneChoiceRandom, Oracle:
+		r := cfg.Strategy.Radius
+		if r < 0 || r >= g.Diameter() {
+			return 0, false // unbounded: the whole replica list is the pool
+		}
+		return r, true
+	}
+	return 0, false
 }
 
 // NewRunner returns a fresh Runner over w.
 func (w *World) NewRunner() *Runner {
 	b := min(w.chunk, w.nReq)
+	placer := cache.NewPlacer(w.g.N(), w.cfg.M, w.cfg.K)
+	if w.tiling != nil {
+		placer.EnableTiles(w.tiling)
+	}
 	return &Runner{
 		w:       w,
-		placer:  cache.NewPlacer(w.g.N(), w.cfg.M, w.cfg.K),
+		placer:  placer,
 		loads:   ballsbins.NewLoads(w.g.N()),
 		origins: make([]int32, b),
 		files:   make([]int32, b),
@@ -270,9 +336,16 @@ func (r *Runner) RunTrial(t uint64) Result {
 		if r.hopAcc == nil {
 			r.hopAcc = stats.NewAccumulator(w.g.Diameter())
 			r.loadAcc = stats.NewAccumulator(w.loadBound)
+			if n <= linkSketchMaxN {
+				r.links64 = stats.NewSpaceSaving(linkSketchCap)
+				r.linkBuf = make([]uint64, 0, w.g.Diameter()+1)
+			}
 		}
 		r.hopAcc.Reset()
 		r.loadAcc.Reset()
+		if r.links64 != nil {
+			r.links64.Reset()
+		}
 		hopAcc = r.hopAcc
 	}
 
@@ -315,6 +388,9 @@ func (r *Runner) RunTrial(t uint64) Result {
 		res.HopMax = hopAcc.Max()
 		res.HopStd = hopAcc.Std()
 		res.LoadP99 = r.loadAcc.Quantile(0.99)
+		if r.links64 != nil {
+			res.LinkMaxApprox = r.links64.MaxCount()
+		}
 	}
 	return res
 }
@@ -384,6 +460,21 @@ func (r *Runner) account(c int, a *acct, links *routing.LinkLoads, hopAcc *stats
 	if hopAcc != nil {
 		for i := 0; i < c; i++ {
 			hopAcc.Observe(int(r.hops[i]))
+		}
+		if r.links64 != nil {
+			// Recover per-link traffic without the O(n) link vector:
+			// replay each delivery's XY route into the heavy-hitter
+			// sketch.
+			g := r.w.g
+			for i := 0; i < c; i++ {
+				if r.hops[i] == 0 {
+					continue
+				}
+				r.linkBuf = routing.AppendLinks(g, int(r.origins[i]), int(r.servers[i]), r.linkBuf[:0])
+				for _, id := range r.linkBuf {
+					r.links64.Observe(id)
+				}
+			}
 		}
 	}
 }

@@ -60,19 +60,55 @@ func BenchmarkWorldRunTrialSplit(b *testing.B) {
 	}
 }
 
-// BenchmarkWideWorldTrial is the widegrid acceptance point: one Side=1000
-// (n = 10⁶ servers, 10⁶ requests) two-choices trial with streaming
+// wideWorldCfg is the widegrid acceptance point: one Side=1000
+// (n = 10⁶ servers, 10⁶ requests) two-choices r=8 trial with streaming
 // metrics and split streams. The request path allocates nothing; all
 // memory is the compiled world plus the runner's O(n) placement/load
 // state — no O(n) metric vector is ever materialized.
-func BenchmarkWideWorldTrial(b *testing.B) {
-	cfg := Config{
+func wideWorldCfg(ix IndexMode) Config {
+	return Config{
 		Side: 1000, K: 10000, M: 10, Seed: 1,
 		Popularity: PopSpec{Kind: PopZipf, Gamma: 1.2},
-		Strategy:   StrategySpec{Kind: TwoChoices, Radius: 30},
+		Strategy:   StrategySpec{Kind: TwoChoices, Radius: 8},
 		Metrics:    MetricsStreaming,
 		Streams:    StreamsSplit,
+		Index:      ix,
 	}
+}
+
+// BenchmarkWideWorldTrial is the PR 4 headline: the wide-world trial
+// through the tile-bucketed spatial replica index (sub-second; was ~9.8s
+// through the exact filter, kept below as the NoIndex baseline).
+func BenchmarkWideWorldTrial(b *testing.B) {
+	benchWideWorld(b, wideWorldCfg(IndexTiles))
+}
+
+// BenchmarkWideWorldTrialNoIndex is the same point under the PR 3
+// discipline: at K = 10⁴, M = 10 the mid-popularity files have
+// |S_j| ≈ 10³ ≈ the rejection budget, so most assignments pay the exact
+// O(min(|S_j|, |B_r|)) filter.
+func BenchmarkWideWorldTrialNoIndex(b *testing.B) {
+	benchWideWorld(b, wideWorldCfg(IndexNone))
+}
+
+func benchWideWorld(b *testing.B, cfg Config) {
+	w, err := Compile(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := w.NewRunner()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.RunTrial(uint64(i))
+	}
+}
+
+// BenchmarkWorldRunTrialIndexed is the paper-scale point under the
+// tile-index discipline (compare BenchmarkWorldRunTrial).
+func BenchmarkWorldRunTrialIndexed(b *testing.B) {
+	cfg := paperScaleCfg()
+	cfg.Index = IndexTiles
 	w, err := Compile(cfg)
 	if err != nil {
 		b.Fatal(err)

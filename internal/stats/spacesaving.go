@@ -1,0 +1,329 @@
+package stats
+
+import "fmt"
+
+// SpaceSaving is the Metwally–Agrawal–El Abbadi heavy-hitter sketch: it
+// monitors at most k keys with per-key count and overestimation error,
+// in O(k) memory and O(1) amortized time per observation. The engine's
+// streaming metrics mode feeds every traversed link id through one of
+// these to recover an approximate maximum link load for worlds whose
+// exact per-link vector (O(n)) is never materialized.
+//
+// Guarantees, with N = total observations and c_min the smallest
+// monitored count (0 while fewer than k distinct keys were seen):
+//
+//   - every monitored key's estimate overestimates its true count by at
+//     most its recorded error ≤ c_min ≤ N/k;
+//   - MaxCount() ≥ the true maximum count of ANY key (monitored or
+//     not), and exceeds it by at most ErrorBound() ≤ N/k;
+//   - while distinct keys ≤ k, all counts are exact (ErrorBound 0).
+//
+// The structure is the classic stream-summary: monitored keys live in
+// buckets of equal count, buckets form a doubly-linked list ascending by
+// count, so increment and evict-min are both O(1); key lookup is an
+// open-addressing hash table with backward-shift deletion. All state
+// lives in arrays allocated at construction; Observe and Reset never
+// allocate, which keeps the simulation engine's request loop at 0
+// allocs/op.
+type SpaceSaving struct {
+	k int
+	n int64
+
+	// Monitored-key slots.
+	key      []uint64
+	count    []int64
+	err      []int64
+	slotBuck []int32 // bucket holding this slot
+	slotPrev []int32 // within-bucket doubly-linked slot list
+	slotNext []int32
+	size     int
+	maxCount int64
+
+	// Buckets (≤ k live at a time), a doubly-linked list ascending by
+	// count. bMin is the head (smallest count).
+	bCount []int64
+	bHead  []int32
+	bPrev  []int32
+	bNext  []int32
+	bFree  []int32 // free-list stack of bucket ids
+	nFree  int
+	bMin   int32
+
+	// Open-addressing key → slot table, power-of-two sized.
+	table   []int32
+	mask    uint64
+	evicted bool
+}
+
+// NewSpaceSaving returns a sketch monitoring up to k keys. It panics if
+// k <= 0.
+func NewSpaceSaving(k int) *SpaceSaving {
+	if k <= 0 {
+		panic(fmt.Sprintf("stats: SpaceSaving needs k > 0, got %d", k))
+	}
+	tsize := 4
+	for tsize < 4*k {
+		tsize <<= 1
+	}
+	s := &SpaceSaving{
+		k:        k,
+		key:      make([]uint64, k),
+		count:    make([]int64, k),
+		err:      make([]int64, k),
+		slotBuck: make([]int32, k),
+		slotPrev: make([]int32, k),
+		slotNext: make([]int32, k),
+		bCount:   make([]int64, k),
+		bHead:    make([]int32, k),
+		bPrev:    make([]int32, k),
+		bNext:    make([]int32, k),
+		bFree:    make([]int32, k),
+		table:    make([]int32, tsize),
+		mask:     uint64(tsize - 1),
+	}
+	s.Reset()
+	return s
+}
+
+// Reset clears the sketch for a new stream without reallocating.
+func (s *SpaceSaving) Reset() {
+	s.n, s.size, s.maxCount, s.bMin = 0, 0, 0, -1
+	s.evicted = false
+	for i := range s.table {
+		s.table[i] = -1
+	}
+	for i := 0; i < s.k; i++ {
+		s.bFree[i] = int32(s.k - 1 - i)
+	}
+	s.nFree = s.k
+}
+
+// hash mixes a key (SplitMix64 finalizer).
+func hash(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// find returns the slot monitoring key, or -1.
+func (s *SpaceSaving) find(key uint64) int32 {
+	i := hash(key) & s.mask
+	for {
+		slot := s.table[i]
+		if slot < 0 {
+			return -1
+		}
+		if s.key[slot] == key {
+			return slot
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// insert adds key → slot to the table (the key must be absent).
+func (s *SpaceSaving) insert(key uint64, slot int32) {
+	i := hash(key) & s.mask
+	for s.table[i] >= 0 {
+		i = (i + 1) & s.mask
+	}
+	s.table[i] = slot
+}
+
+// remove deletes key from the table by backward-shift (no tombstones).
+func (s *SpaceSaving) remove(key uint64) {
+	i := hash(key) & s.mask
+	for {
+		slot := s.table[i]
+		if slot >= 0 && s.key[slot] == key {
+			break
+		}
+		i = (i + 1) & s.mask
+	}
+	j := i
+	for {
+		s.table[i] = -1
+		for {
+			j = (j + 1) & s.mask
+			slot := s.table[j]
+			if slot < 0 {
+				return
+			}
+			h := hash(s.key[slot]) & s.mask
+			// Move the entry back iff its home does not lie in (i, j].
+			if (j-h)&s.mask >= (j-i)&s.mask {
+				s.table[i] = slot
+				i = j
+				break
+			}
+		}
+	}
+}
+
+// newBucket takes a free bucket with the given count and links it after
+// prev (-1: at the head).
+func (s *SpaceSaving) newBucket(count int64, prev int32) int32 {
+	s.nFree--
+	b := s.bFree[s.nFree]
+	s.bCount[b] = count
+	s.bHead[b] = -1
+	s.bPrev[b] = prev
+	if prev < 0 {
+		s.bNext[b] = s.bMin
+		if s.bMin >= 0 {
+			s.bPrev[s.bMin] = b
+		}
+		s.bMin = b
+	} else {
+		s.bNext[b] = s.bNext[prev]
+		if s.bNext[prev] >= 0 {
+			s.bPrev[s.bNext[prev]] = b
+		}
+		s.bNext[prev] = b
+	}
+	return b
+}
+
+// dropBucket unlinks an empty bucket and frees it.
+func (s *SpaceSaving) dropBucket(b int32) {
+	p, n := s.bPrev[b], s.bNext[b]
+	if p >= 0 {
+		s.bNext[p] = n
+	} else {
+		s.bMin = n
+	}
+	if n >= 0 {
+		s.bPrev[n] = p
+	}
+	s.bFree[s.nFree] = b
+	s.nFree++
+}
+
+// attach puts slot at the head of bucket b.
+func (s *SpaceSaving) attach(slot, b int32) {
+	h := s.bHead[b]
+	s.slotPrev[slot] = -1
+	s.slotNext[slot] = h
+	if h >= 0 {
+		s.slotPrev[h] = slot
+	}
+	s.bHead[b] = slot
+	s.slotBuck[slot] = b
+}
+
+// detach removes slot from its bucket's list (the bucket is not freed).
+func (s *SpaceSaving) detach(slot int32) {
+	p, n := s.slotPrev[slot], s.slotNext[slot]
+	if p >= 0 {
+		s.slotNext[p] = n
+	} else {
+		s.bHead[s.slotBuck[slot]] = n
+	}
+	if n >= 0 {
+		s.slotPrev[n] = p
+	}
+}
+
+// bump moves slot from count c to c+1, relinking buckets as needed.
+// When slot is its bucket's only member and no c+1 bucket exists, the
+// bucket is re-labeled in place (ordering is preserved: the successor's
+// count exceeds c) — this also keeps the free list sound when all k
+// buckets are live, where allocate-then-free would underflow it.
+func (s *SpaceSaving) bump(slot int32) {
+	b := s.slotBuck[slot]
+	c := s.count[slot] + 1
+	s.count[slot] = c
+	target := s.bNext[b]
+	if s.bHead[b] == slot && s.slotNext[slot] < 0 {
+		// Sole member of b.
+		if target < 0 || s.bCount[target] != c {
+			s.bCount[b] = c
+		} else {
+			s.detach(slot)
+			s.attach(slot, target)
+			s.dropBucket(b)
+		}
+	} else {
+		// b keeps other members, so at most k-1 buckets are live and the
+		// free list cannot be empty when a new bucket is needed.
+		s.detach(slot)
+		if target < 0 || s.bCount[target] != c {
+			target = s.newBucket(c, b)
+		}
+		s.attach(slot, target)
+	}
+	if c > s.maxCount {
+		s.maxCount = c
+	}
+}
+
+// Observe folds one key occurrence into the sketch.
+func (s *SpaceSaving) Observe(key uint64) {
+	s.n++
+	if slot := s.find(key); slot >= 0 {
+		s.bump(slot)
+		return
+	}
+	if s.size < s.k {
+		slot := int32(s.size)
+		s.size++
+		s.key[slot] = key
+		s.count[slot] = 1
+		s.err[slot] = 0
+		s.insert(key, slot)
+		if s.bMin < 0 || s.bCount[s.bMin] != 1 {
+			s.newBucket(1, -1)
+		}
+		s.attach(slot, s.bMin)
+		if s.maxCount < 1 {
+			s.maxCount = 1
+		}
+		return
+	}
+	// Evict the minimum: the new key inherits its count as error.
+	s.evicted = true
+	victim := s.bHead[s.bMin]
+	s.remove(s.key[victim])
+	s.insert(key, victim)
+	s.key[victim] = key
+	s.err[victim] = s.count[victim]
+	s.bump(victim)
+}
+
+// N returns the number of observations.
+func (s *SpaceSaving) N() int64 { return s.n }
+
+// Len returns the number of monitored keys.
+func (s *SpaceSaving) Len() int { return s.size }
+
+// Exact reports whether no eviction has happened yet, in which case
+// every monitored count is the key's true count.
+func (s *SpaceSaving) Exact() bool { return !s.evicted }
+
+// MaxCount returns the largest monitored count: an upper bound on the
+// true maximum count of any key, tight to within ErrorBound().
+func (s *SpaceSaving) MaxCount() int64 { return s.maxCount }
+
+// ErrorBound returns the worst-case overestimation of any monitored
+// count: the minimum monitored count once the sketch is full (≤ N/k),
+// 0 before (all counts exact).
+func (s *SpaceSaving) ErrorBound() int64 {
+	if !s.evicted || s.bMin < 0 {
+		return 0
+	}
+	// Errors are inherited from evicted minima, so they never exceed the
+	// current minimum count.
+	return s.bCount[s.bMin]
+}
+
+// Estimate returns the monitored estimate for key: count ≥ the true
+// count, overestimating by at most err. ok is false for unmonitored
+// keys (whose true count is then at most ErrorBound()).
+func (s *SpaceSaving) Estimate(key uint64) (count, err int64, ok bool) {
+	slot := s.find(key)
+	if slot < 0 {
+		return 0, 0, false
+	}
+	return s.count[slot], s.err[slot], true
+}

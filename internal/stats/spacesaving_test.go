@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// exactCounts is the brute-force oracle.
+func exactCounts(stream []uint64) map[uint64]int64 {
+	m := map[uint64]int64{}
+	for _, k := range stream {
+		m[k]++
+	}
+	return m
+}
+
+func maxCount(m map[uint64]int64) int64 {
+	var mx int64
+	for _, c := range m {
+		if c > mx {
+			mx = c
+		}
+	}
+	return mx
+}
+
+// zipfStream draws a skewed key stream (the link-load shape: few hot
+// keys, a long uniform tail).
+func zipfStream(n, universe int, skew float64, seed uint64) []uint64 {
+	rng := rand.New(rand.NewPCG(seed, seed^0xbeef))
+	out := make([]uint64, n)
+	for i := range out {
+		if rng.Float64() < skew {
+			out[i] = uint64(rng.IntN(8)) // hot set
+		} else {
+			out[i] = uint64(8 + rng.IntN(universe-8))
+		}
+	}
+	return out
+}
+
+// TestSpaceSavingInvariants checks the sketch's guarantees against the
+// exact counts on skewed and uniform streams, across capacities.
+func TestSpaceSavingInvariants(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		stream   []uint64
+		capacity int
+	}{
+		{"skewed", zipfStream(20000, 5000, 0.5, 1), 64},
+		{"uniform", zipfStream(20000, 5000, 0, 2), 128},
+		{"tiny-capacity", zipfStream(5000, 500, 0.3, 3), 8},
+		{"few-keys", zipfStream(5000, 20, 0, 4), 64},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewSpaceSaving(tc.capacity)
+			for _, k := range tc.stream {
+				s.Observe(k)
+			}
+			exact := exactCounts(tc.stream)
+			if s.N() != int64(len(tc.stream)) {
+				t.Fatalf("N = %d, want %d", s.N(), len(tc.stream))
+			}
+			bound := s.ErrorBound()
+			if nk := s.N() / int64(tc.capacity); bound > nk {
+				t.Fatalf("ErrorBound %d exceeds N/k = %d", bound, nk)
+			}
+			trueMax := maxCount(exact)
+			if s.MaxCount() < trueMax {
+				t.Fatalf("MaxCount %d below true max %d", s.MaxCount(), trueMax)
+			}
+			if s.MaxCount() > trueMax+bound {
+				t.Fatalf("MaxCount %d exceeds true max %d + bound %d", s.MaxCount(), trueMax, bound)
+			}
+			if len(exact) <= tc.capacity {
+				if !s.Exact() {
+					t.Fatalf("distinct keys %d ≤ k %d but sketch not exact", len(exact), tc.capacity)
+				}
+				for k, c := range exact {
+					got, errv, ok := s.Estimate(k)
+					if !ok || got != c || errv != 0 {
+						t.Fatalf("key %d: estimate %d±%d ok=%v, want exact %d", k, got, errv, ok, c)
+					}
+				}
+			}
+			// Every monitored estimate brackets its true count.
+			for k := range exact {
+				if got, errv, ok := s.Estimate(k); ok {
+					if got < exact[k] {
+						t.Fatalf("key %d: estimate %d underestimates true %d", k, got, exact[k])
+					}
+					if got-errv > exact[k] {
+						t.Fatalf("key %d: estimate %d - err %d exceeds true %d", k, got, errv, exact[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSpaceSavingAllBucketsDistinct: with every monitored count pairwise
+// distinct all k buckets are live; bumping past a count gap must reuse
+// the emptied bucket in place instead of allocating from the exhausted
+// free list (regression: this panicked with a free-list underflow).
+func TestSpaceSavingAllBucketsDistinct(t *testing.T) {
+	s := NewSpaceSaving(2)
+	for _, k := range []uint64{1, 2, 2, 2} {
+		s.Observe(k) // counts {1:1, 2:3}: distinct, with a gap above
+	}
+	if got, _, ok := s.Estimate(2); !ok || got != 3 {
+		t.Fatalf("Estimate(2) = %d, %v; want 3, true", got, ok)
+	}
+	if got, _, ok := s.Estimate(1); !ok || got != 1 {
+		t.Fatalf("Estimate(1) = %d, %v; want 1, true", got, ok)
+	}
+	// Stress the same shape at a larger capacity: k keys driven to
+	// pairwise-distinct counts, then bumped through gaps in both orders.
+	s = NewSpaceSaving(8)
+	for key := uint64(0); key < 8; key++ {
+		for c := uint64(0); c <= 2*key; c++ {
+			s.Observe(key)
+		}
+	}
+	for key := uint64(0); key < 8; key++ {
+		s.Observe(key) // every bump crosses into a count gap
+	}
+	for key := uint64(0); key < 8; key++ {
+		if got, _, ok := s.Estimate(key); !ok || got != int64(2*key+2) {
+			t.Fatalf("Estimate(%d) = %d, %v; want %d", key, got, ok, 2*key+2)
+		}
+	}
+}
+
+// TestSpaceSavingResetReuse: a reset sketch behaves like a fresh one.
+func TestSpaceSavingResetReuse(t *testing.T) {
+	s := NewSpaceSaving(32)
+	for _, k := range zipfStream(10000, 1000, 0.4, 7) {
+		s.Observe(k)
+	}
+	s.Reset()
+	if s.N() != 0 || s.Len() != 0 || s.MaxCount() != 0 || s.ErrorBound() != 0 {
+		t.Fatalf("reset sketch not empty: N=%d len=%d max=%d", s.N(), s.Len(), s.MaxCount())
+	}
+	stream := zipfStream(10000, 1000, 0.4, 8)
+	fresh := NewSpaceSaving(32)
+	for _, k := range stream {
+		s.Observe(k)
+		fresh.Observe(k)
+	}
+	if s.MaxCount() != fresh.MaxCount() || s.ErrorBound() != fresh.ErrorBound() || s.Len() != fresh.Len() {
+		t.Fatalf("reused sketch diverges from fresh: max %d/%d bound %d/%d",
+			s.MaxCount(), fresh.MaxCount(), s.ErrorBound(), fresh.ErrorBound())
+	}
+}
+
+// TestSpaceSavingObserveAllocs: the observation path never allocates.
+func TestSpaceSavingObserveAllocs(t *testing.T) {
+	s := NewSpaceSaving(64)
+	stream := zipfStream(4096, 2000, 0.3, 9)
+	i := 0
+	if n := testing.AllocsPerRun(2000, func() {
+		s.Observe(stream[i&4095])
+		i++
+	}); n != 0 {
+		t.Errorf("Observe allocates %.2f/op, want 0", n)
+	}
+}
+
+// TestSpaceSavingAdversarialChurn: a rotating key pattern maximizes
+// evictions and exercises the backward-shift hash deletion; cross-check
+// table consistency via Estimate on every key.
+func TestSpaceSavingAdversarialChurn(t *testing.T) {
+	s := NewSpaceSaving(16)
+	var stream []uint64
+	for round := 0; round < 2000; round++ {
+		stream = append(stream, uint64(round%97), uint64(round%31))
+	}
+	for _, k := range stream {
+		s.Observe(k)
+	}
+	exact := exactCounts(stream)
+	monitored := 0
+	for k := range exact {
+		if got, _, ok := s.Estimate(k); ok {
+			monitored++
+			if got < exact[k] {
+				t.Fatalf("key %d: estimate %d < true %d", k, got, exact[k])
+			}
+		}
+	}
+	if monitored != s.Len() {
+		t.Fatalf("Estimate found %d monitored keys, sketch reports %d — hash table corrupted", monitored, s.Len())
+	}
+}

@@ -181,6 +181,12 @@ type (
 	// Streams selects the request-phase RNG discipline (interleaved or
 	// split).
 	Streams = sim.Streams
+	// IndexMode selects the candidate-enumeration discipline of the
+	// radius-bounded strategies (none or tiles).
+	IndexMode = sim.IndexMode
+	// SpaceSaving is the heavy-hitter sketch behind the streaming mode's
+	// approximate max-link-load (Result.LinkMaxApprox).
+	SpaceSaving = stats.SpaceSaving
 )
 
 // NewAccumulator returns a streaming accumulator whose histogram resolves
@@ -205,6 +211,22 @@ const (
 	// StreamsSplit batches request generation over dedicated streams.
 	StreamsSplit = sim.StreamsSplit
 )
+
+// Index discipline constants for Config.Index.
+const (
+	// IndexNone is the PR 3 rejection/exact-filter ladder (default,
+	// golden-pinned).
+	IndexNone = sim.IndexNone
+	// IndexTiles enumerates S_j ∩ B_r(u) through the tile-bucketed
+	// spatial replica index — the sub-second wide-world discipline.
+	IndexTiles = sim.IndexTiles
+)
+
+// NewSpaceSaving returns a heavy-hitter sketch monitoring up to k keys.
+func NewSpaceSaving(k int) *SpaceSaving { return stats.NewSpaceSaving(k) }
+
+// ParseIndex converts a CLI name into an IndexMode.
+func ParseIndex(s string) (IndexMode, error) { return sim.ParseIndex(s) }
 
 // ParseMetricsMode converts a CLI name into a MetricsMode.
 func ParseMetricsMode(s string) (MetricsMode, error) { return sim.ParseMetricsMode(s) }
