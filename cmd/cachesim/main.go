@@ -12,6 +12,13 @@
 //
 //	cachesim -side 1000 -k 10000 -m 10 -strategy two-choices -radius 8 \
 //	    -metrics streaming -streams split -index tiles -trials 4
+//
+// The §VI dynamic regime — caches migrate replicas mid-trial while
+// requests keep arriving (uniformly with -churn replicas, chasing a
+// drifting popularity with -churn drift):
+//
+//	cachesim -side 25 -k 2000 -m 4 -strategy two-choices -radius 6 \
+//	    -requests 8192 -churn replicas -churn-rate 0.5 -trials 20
 package main
 
 import (
@@ -38,13 +45,15 @@ func main() {
 		metrics  = flag.String("metrics", "scalar", "per-trial instrumentation: scalar, links or streaming")
 		streams  = flag.String("streams", "interleaved", "request RNG discipline: interleaved or split (batched generation)")
 		index    = flag.String("index", "none", "candidate enumeration for bounded radii: none or tiles (spatial replica index)")
+		churn    = flag.String("churn", "none", "mid-trial re-placement: none, replicas (uniform migration) or drift (popularity-coupled)")
+		churnRt  = flag.Float64("churn-rate", 0, "expected replica migrations per request (required with -churn)")
 		trials   = flag.Int("trials", 50, "independent trials")
 		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		seed     = flag.Uint64("seed", 2017, "root random seed")
 	)
 	flag.Parse()
 
-	cfg, err := buildConfig(*side, *topo, *k, *m, *gamma, *strategy, *radius, *choices, *requests, *miss, *metrics, *streams, *index, *seed)
+	cfg, err := buildConfig(*side, *topo, *k, *m, *gamma, *strategy, *radius, *choices, *requests, *miss, *metrics, *streams, *index, *churn, *churnRt, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cachesim:", err)
 		os.Exit(2)
@@ -60,6 +69,10 @@ func main() {
 	fmt.Printf("comm cost: %s hops\n", agg.MeanCost.String())
 	fmt.Printf("escalated: %.4f of requests; backhaul: %.4f; uncached files/trial: %.1f\n",
 		agg.Escalated.Mean(), agg.Backhaul.Mean(), agg.Uncached.Mean())
+	if cfg.Churn != repro.ChurnNone {
+		fmt.Printf("churn:     %s events/trial (skipped %s)\n",
+			agg.ChurnEvents.String(), agg.ChurnSkipped.String())
+	}
 	switch cfg.Metrics {
 	case repro.MetricsLinks:
 		fmt.Printf("link load:  max %s, congestion %s\n",
@@ -75,7 +88,8 @@ func main() {
 
 // buildConfig translates CLI flags into a sim configuration.
 func buildConfig(side int, topo string, k, m int, gamma float64, strategy string,
-	radius, choices, requests int, miss, metrics, streams, index string, seed uint64) (repro.Config, error) {
+	radius, choices, requests int, miss, metrics, streams, index, churn string,
+	churnRate float64, seed uint64) (repro.Config, error) {
 	var cfg repro.Config
 	tp, err := grid.ParseTopology(topo)
 	if err != nil {
@@ -93,9 +107,14 @@ func buildConfig(side int, topo string, k, m int, gamma float64, strategy string
 	if err != nil {
 		return cfg, err
 	}
+	ch, err := repro.ParseChurn(churn)
+	if err != nil {
+		return cfg, err
+	}
 	cfg = repro.Config{
 		Side: side, Topology: tp, K: k, M: m,
-		Requests: requests, Metrics: mm, Streams: sd, Index: ix, Seed: seed,
+		Requests: requests, Metrics: mm, Streams: sd, Index: ix,
+		Churn: ch, ChurnRate: churnRate, Seed: seed,
 	}
 	if gamma > 0 {
 		cfg.Popularity = repro.PopSpec{Kind: repro.PopZipf, Gamma: gamma}

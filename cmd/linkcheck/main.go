@@ -1,0 +1,138 @@
+// Command linkcheck validates the repository's markdown cross-links: it
+// scans the given files (and, recursively, directories) for inline
+// links and checks that every relative target resolves to an existing
+// file — with fragment targets checked against the destination's
+// headings. External (http/https/mailto) links are reported but not
+// fetched, keeping the check hermetic for CI. Exit status 1 when any
+// link is broken.
+//
+// Usage:
+//
+//	go run ./cmd/linkcheck README.md docs
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"unicode"
+)
+
+// linkRe matches inline markdown links [text](target), skipping images
+// by stripping the leading ! at match time.
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^()\s]+)\)`)
+
+// headingRe matches ATX headings, whose normalized text forms the
+// anchor namespace of a file.
+var headingRe = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*#*\s*$`)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"README.md", "docs"}
+	}
+	var files []string
+	for _, arg := range args {
+		fi, err := os.Stat(arg)
+		if err != nil {
+			fail("%v", err)
+		}
+		if !fi.IsDir() {
+			files = append(files, arg)
+			continue
+		}
+		err = filepath.WalkDir(arg, func(path string, d os.DirEntry, err error) error {
+			if err == nil && !d.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return err
+		})
+		if err != nil {
+			fail("%v", err)
+		}
+	}
+	broken, external, checked := 0, 0, 0
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fail("%v", err)
+		}
+		for _, m := range linkRe.FindAllStringSubmatchIndex(string(data), -1) {
+			if m[0] > 0 && data[m[0]-1] == '!' {
+				continue // image
+			}
+			target := string(data[m[2]:m[3]])
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				external++
+				continue
+			}
+			checked++
+			if msg := checkRelative(file, target); msg != "" {
+				fmt.Fprintf(os.Stderr, "linkcheck: %s: %s\n", file, msg)
+				broken++
+			}
+		}
+	}
+	fmt.Printf("linkcheck: %d files, %d relative links checked, %d external skipped, %d broken\n",
+		len(files), checked, external, broken)
+	if broken > 0 {
+		os.Exit(1)
+	}
+}
+
+// checkRelative resolves target against the linking file and returns a
+// diagnostic when the destination (or its heading fragment) is missing.
+func checkRelative(from, target string) string {
+	path, frag, _ := strings.Cut(target, "#")
+	dest := from
+	if path != "" {
+		dest = filepath.Join(filepath.Dir(from), path)
+		if _, err := os.Stat(dest); err != nil {
+			return fmt.Sprintf("broken link %q (%s does not exist)", target, dest)
+		}
+	}
+	if frag == "" {
+		return ""
+	}
+	if !strings.HasSuffix(dest, ".md") {
+		return "" // fragments into non-markdown files are not checkable
+	}
+	data, err := os.ReadFile(dest)
+	if err != nil {
+		return fmt.Sprintf("broken link %q: %v", target, err)
+	}
+	for _, h := range headingRe.FindAllStringSubmatch(string(data), -1) {
+		if anchorOf(h[1]) == strings.ToLower(frag) {
+			return ""
+		}
+	}
+	return fmt.Sprintf("broken fragment %q (no matching heading in %s)", target, dest)
+}
+
+// anchorOf normalizes a heading to its GitHub-style anchor: lower case,
+// punctuation dropped (ASCII and Unicode alike — an em-dash vanishes,
+// its flanking spaces both become hyphens), spaces to hyphens.
+func anchorOf(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(heading)) {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_',
+			unicode.IsLetter(r), unicode.IsDigit(r):
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// fail prints a fatal diagnostic and exits non-zero.
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "linkcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

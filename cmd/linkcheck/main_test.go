@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAnchorOf(t *testing.T) {
+	for heading, want := range map[string]string{
+		"Layer map":                       "layer-map",
+		"Compile: everything, once":       "compile-everything-once",
+		"PR 4 — tile-bucketed (r=8)":      "pr-4--tile-bucketed-r8",
+		"  Trailing hashes  ":             "trailing-hashes",
+		"Streaming link sketch (`X.Y`)":   "streaming-link-sketch-xy",
+		"What the golden matrices freeze": "what-the-golden-matrices-freeze",
+	} {
+		if got := anchorOf(heading); got != want {
+			t.Errorf("anchorOf(%q) = %q, want %q", heading, got, want)
+		}
+	}
+}
+
+func TestCheckRelative(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.md")
+	b := filepath.Join(dir, "b.md")
+	if err := os.WriteFile(a, []byte("# Top\n\nsee [b](b.md) and [sec](b.md#real-section)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(b, []byte("## Real section\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for target, wantBroken := range map[string]bool{
+		"b.md":              false,
+		"b.md#real-section": false,
+		"b.md#no-such":      true,
+		"missing.md":        true,
+		"#top":              false,
+		"#absent":           true,
+	} {
+		msg := checkRelative(a, target)
+		if (msg != "") != wantBroken {
+			t.Errorf("checkRelative(a.md, %q) = %q, want broken=%v", target, msg, wantBroken)
+		}
+	}
+}

@@ -46,19 +46,31 @@ func (m Mode) String() string {
 	}
 }
 
-// Placement is an immutable cache assignment for n nodes over a K-file
-// library, in CSR layout. Build one per simulation trial with Place, or —
-// on the hot path — through a reusable Placer.
+// Placement is a cache assignment for n nodes over a K-file library, in
+// CSR layout. Build one per simulation trial with Place, or — on the hot
+// path — through a reusable Placer. Placements are immutable once built,
+// with one exception: placements built by a churn-enabled Placer
+// (Placer.EnableChurn) additionally support in-place replica migration
+// through ReplaceReplica, the primitive behind the engine's §VI dynamic
+// regime.
 type Placement struct {
 	n, k, m int
 
-	// files[nodeOff[u]:nodeOff[u+1]] lists the distinct files cached at
-	// node u, sorted ascending (length t(u) ≤ M).
+	// Forward map, node → distinct cached files, sorted ascending
+	// (length t(u) ≤ M). Two layouts share the accessors:
+	//
+	//	immutable (lens == nil): files[nodeOff[u]:nodeOff[u+1]], tight CSR;
+	//	mutable  (lens != nil):  files[u*m : u*m+lens[u]], M-stride slabs
+	//	                         so ReplaceReplica can grow and shrink a
+	//	                         node's list without shifting the arena.
 	files   []int32
-	nodeOff []int32 // length n+1
+	nodeOff []int32 // length n+1 (immutable layout only)
+	lens    []int32 // per-node list length (mutable layout only)
 
 	// nodes[repOff[j]:repOff[j+1]] lists the nodes caching file j, sorted
-	// ascending. This is S_j in the paper's notation.
+	// ascending. This is S_j in the paper's notation. Segment lengths are
+	// invariant under ReplaceReplica (it migrates replicas, never changes
+	// |S_j|), which is what lets the CSR stay splice-able in place.
 	nodes  []int32
 	repOff []int32 // length k+1
 
@@ -70,7 +82,17 @@ type Placement struct {
 	tix *TileIndex
 	// unsorted marks EnableTiles placements, whose per-node file lists
 	// skip the sort; NodeFiles-order consumers must not assume order.
+	// Churn-enabled placements always sort (ReplaceReplica keeps order).
 	unsorted bool
+}
+
+// nodeSpan returns node u's file list under either forward layout.
+func (p *Placement) nodeSpan(u int) []int32 {
+	if p.lens != nil {
+		base := u * p.m
+		return p.files[base : base+int(p.lens[u])]
+	}
+	return p.files[p.nodeOff[u]:p.nodeOff[u+1]]
 }
 
 // TileIndex returns the spatial replica index, or nil when the placement
@@ -101,6 +123,29 @@ type Placer struct {
 	// per-node order — but NodeFiles/Has/TPair then see unspecified
 	// order, so only the index-backed engine path may opt in.
 	noSort bool
+	// mutable builds placements in the churn layout (EnableChurn):
+	// M-stride forward slabs and a capacity-padded tile directory, so
+	// ReplaceReplica can splice every structure in place.
+	mutable bool
+}
+
+// EnableChurn makes every subsequent Place call build a mutable
+// placement: the forward map moves to M-stride slabs (tight CSR cannot
+// grow a node's list in place) and, when EnableTiles is also active, the
+// tile directory is capacity-padded per file (see buildTileIndex). The
+// build consumes the RNG in exactly the same order as the immutable
+// layout, so a churn-enabled placement starts bit-identical in content to
+// its immutable twin; only the memory layout differs. Churn-enabled
+// placements always keep node lists sorted (ReplaceReplica maintains the
+// order), so NodeFiles-order consumers remain usable even with tiles.
+func (pl *Placer) EnableChurn() {
+	if pl.mutable {
+		return
+	}
+	pl.mutable = true
+	pl.noSort = false
+	pl.p.files = make([]int32, pl.n*pl.m)
+	pl.p.lens = make([]int32, pl.n)
 }
 
 // NewPlacer returns a Placer for n nodes of m slots over a k-file library.
@@ -147,6 +192,7 @@ func (p *Placement) clone() *Placement {
 	c := *p
 	c.files = slices.Clone(p.files)
 	c.nodeOff = slices.Clone(p.nodeOff)
+	c.lens = slices.Clone(p.lens)
 	c.nodes = slices.Clone(p.nodes)
 	c.repOff = slices.Clone(p.repOff)
 	c.cachedFiles = slices.Clone(p.cachedFiles)
@@ -163,7 +209,9 @@ func (pl *Placer) Place(pop dist.Popularity, mode Mode, r *rand.Rand) *Placement
 		panic(fmt.Sprintf("cache: placer built for k=%d, profile has k=%d", pl.k, pop.K()))
 	}
 	p := &pl.p
-	p.files = p.files[:0]
+	if !pl.mutable {
+		p.files = p.files[:0]
+	}
 
 	switch mode {
 	case WithReplacement:
@@ -172,6 +220,22 @@ func (pl *Placer) Place(pop dist.Popularity, mode Mode, r *rand.Rand) *Placement
 		// counting dedup per node via stamped marks — no per-node sort
 		// input copy, no map.
 		dist.SampleBatch(pop, r, pl.draws)
+		if pl.mutable {
+			for u := 0; u < pl.n; u++ {
+				pl.stamp++
+				base, ln := u*pl.m, 0
+				for _, f := range pl.draws[u*pl.m : (u+1)*pl.m] {
+					if pl.mark[f] != pl.stamp {
+						pl.mark[f] = pl.stamp
+						p.files[base+ln] = f
+						ln++
+					}
+				}
+				slices.Sort(p.files[base : base+ln])
+				p.lens[u] = int32(ln)
+			}
+			break
+		}
 		for u := 0; u < pl.n; u++ {
 			pl.stamp++
 			start := len(p.files)
@@ -187,7 +251,11 @@ func (pl *Placer) Place(pop dist.Popularity, mode Mode, r *rand.Rand) *Placement
 			p.nodeOff[u+1] = int32(len(p.files))
 		}
 	case WithoutReplacement:
-		pl.placeWithoutReplacement(pop, r)
+		if pl.mutable {
+			pl.placeWithoutReplacementMutable(pop, r)
+		} else {
+			pl.placeWithoutReplacement(pop, r)
+		}
 	default:
 		panic(fmt.Sprintf("cache: unknown mode %v", mode))
 	}
@@ -237,6 +305,62 @@ func (pl *Placer) placeWithoutReplacement(pop dist.Popularity, r *rand.Rand) {
 	}
 }
 
+// placeWithoutReplacementMutable mirrors placeWithoutReplacement for the
+// churn (M-stride) layout: identical RNG consumption order, slab writes
+// instead of CSR appends.
+func (pl *Placer) placeWithoutReplacementMutable(pop dist.Popularity, r *rand.Rand) {
+	p := &pl.p
+	for u := 0; u < pl.n; u++ {
+		pl.stamp++
+		base, ln := u*pl.m, 0
+		if pl.m >= pl.k {
+			// Degenerate: cache the whole library.
+			for j := int32(0); j < int32(pl.k); j++ {
+				p.files[base+ln] = j
+				ln++
+			}
+		} else {
+			tries := 0
+			for ln < pl.m {
+				f := int32(pop.Sample(r))
+				if pl.mark[f] != pl.stamp {
+					pl.mark[f] = pl.stamp
+					p.files[base+ln] = f
+					ln++
+				}
+				tries++
+				if tries > 64*pl.m && ln < pl.m {
+					ln = pl.fillRemainderMutable(base, ln, r)
+					break
+				}
+			}
+		}
+		slices.Sort(p.files[base : base+ln])
+		p.lens[u] = int32(ln)
+	}
+}
+
+// fillRemainderMutable is fillRemainder for the churn layout: same
+// uniform completion over the unmarked files, written into the slab.
+// Returns the completed list length.
+func (pl *Placer) fillRemainderMutable(base, ln int, r *rand.Rand) int {
+	p := &pl.p
+	missing := make([]int32, 0, pl.k-ln)
+	for j := int32(0); j < int32(pl.k); j++ {
+		if pl.mark[j] != pl.stamp {
+			missing = append(missing, j)
+		}
+	}
+	for ln < pl.m && len(missing) > 0 {
+		i := r.IntN(len(missing))
+		p.files[base+ln] = missing[i]
+		ln++
+		missing[i] = missing[len(missing)-1]
+		missing = missing[:len(missing)-1]
+	}
+	return ln
+}
+
 // fillRemainder completes a without-replacement draw uniformly over the
 // unmarked files when popularity rejection stalls (extremely skewed Zipf).
 func (pl *Placer) fillRemainder(start int, r *rand.Rand) {
@@ -261,8 +385,16 @@ func (pl *Placer) fillRemainder(start int, r *rand.Rand) {
 func (pl *Placer) buildReplicaIndex() {
 	p := &pl.p
 	clear(pl.counts)
-	for _, f := range p.files {
-		pl.counts[f]++
+	if p.lens != nil {
+		for u := 0; u < pl.n; u++ {
+			for _, f := range p.nodeSpan(u) {
+				pl.counts[f]++
+			}
+		}
+	} else {
+		for _, f := range p.files {
+			pl.counts[f]++
+		}
 	}
 	total := int32(0)
 	for j := 0; j < pl.k; j++ {
@@ -273,7 +405,7 @@ func (pl *Placer) buildReplicaIndex() {
 	p.repOff[pl.k] = total
 	p.nodes = p.nodes[:total]
 	for u := 0; u < pl.n; u++ {
-		for _, f := range p.files[p.nodeOff[u]:p.nodeOff[u+1]] {
+		for _, f := range p.nodeSpan(u) {
 			p.nodes[pl.counts[f]] = int32(u)
 			pl.counts[f]++
 		}
@@ -299,19 +431,23 @@ func (p *Placement) M() int { return p.m }
 // must not mutate the returned slice.
 func (p *Placement) Replicas(j int) []int32 { return p.nodes[p.repOff[j]:p.repOff[j+1]] }
 
-// NodeFiles returns the sorted distinct files cached at node u. The caller
-// must not mutate the returned slice.
-func (p *Placement) NodeFiles(u int) []int32 { return p.files[p.nodeOff[u]:p.nodeOff[u+1]] }
+// NodeFiles returns the distinct files cached at node u, sorted ascending
+// except on indexed (EnableTiles, churn-disabled) placements, whose lists
+// carry unspecified order. The caller must not mutate the returned slice,
+// and on churn-enabled placements the slice is only valid until the next
+// ReplaceReplica call.
+func (p *Placement) NodeFiles(u int) []int32 { return p.nodeSpan(u) }
 
 // Has reports whether node u caches file j. Sorted-scan for the short
 // lists that dominate (t(u) ≤ M, typically ≤ a few dozen), binary search
 // beyond; both avoid the closure dispatch of sort.Search on what is the
 // single hottest lookup of the ball-side candidate sampler. On indexed
-// (EnableTiles) placements, whose node lists are unsorted, it falls back
-// to a full linear scan — correct, just not the hot-path shape (the
-// index-backed strategies never call it).
+// (EnableTiles, churn-disabled) placements, whose node lists are
+// unsorted, it falls back to a full linear scan — correct, just not the
+// hot-path shape (the index-backed strategies never call it). Churn-
+// enabled placements always keep lists sorted, so the fast paths apply.
 func (p *Placement) Has(u, j int) bool {
-	files := p.files[p.nodeOff[u]:p.nodeOff[u+1]]
+	files := p.nodeSpan(u)
 	f := int32(j)
 	if p.unsorted {
 		for _, v := range files {
@@ -334,12 +470,18 @@ func (p *Placement) Has(u, j int) bool {
 }
 
 // T returns t(u), the number of distinct files cached at node u.
-func (p *Placement) T(u int) int { return int(p.nodeOff[u+1] - p.nodeOff[u]) }
+func (p *Placement) T(u int) int {
+	if p.lens != nil {
+		return int(p.lens[u])
+	}
+	return int(p.nodeOff[u+1] - p.nodeOff[u])
+}
 
 // TPair returns t(u,v) = |T(u,v)|, the number of distinct files cached at
 // both u and v, via sorted-list intersection. It panics on indexed
-// (EnableTiles) placements, whose node lists are unsorted — better a
-// loud failure than a silently wrong intersection count.
+// (EnableTiles, churn-disabled) placements, whose node lists are
+// unsorted — better a loud failure than a silently wrong intersection
+// count. Churn-enabled placements keep lists sorted and are fine.
 func (p *Placement) TPair(u, v int) int {
 	if p.unsorted {
 		panic("cache: TPair needs sorted node lists; indexed (EnableTiles) placements skip the sort")

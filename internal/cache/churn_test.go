@@ -1,0 +1,319 @@
+package cache
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/grid"
+)
+
+// TestMutableBuildMatchesImmutable: a churn-enabled build must produce
+// the same placement content (node lists, replica lists, cached set) as
+// the immutable layout from the same RNG history, for both placement
+// modes and with or without the tile index.
+func TestMutableBuildMatchesImmutable(t *testing.T) {
+	const side, m, k = 8, 3, 60
+	n := side * side
+	g := grid.New(side, grid.Torus)
+	pop := dist.NewZipf(k, 1.0)
+	for _, mode := range []Mode{WithReplacement, WithoutReplacement} {
+		for _, tiles := range []bool{false, true} {
+			r1 := rand.New(rand.NewPCG(7, 9))
+			r2 := rand.New(rand.NewPCG(7, 9))
+			ref := NewPlacer(n, m, k).Place(pop, mode, r1)
+			mut := NewPlacer(n, m, k)
+			if tiles {
+				mut.EnableTiles(g.NewTiling(2))
+			}
+			mut.EnableChurn()
+			got := mut.Place(pop, mode, r2)
+			if !got.Mutable() {
+				t.Fatal("EnableChurn placement not mutable")
+			}
+			for u := 0; u < n; u++ {
+				if !slices.Equal(ref.NodeFiles(u), got.NodeFiles(u)) {
+					t.Fatalf("mode=%v tiles=%v node %d: files %v != %v",
+						mode, tiles, u, got.NodeFiles(u), ref.NodeFiles(u))
+				}
+			}
+			for j := 0; j < k; j++ {
+				if !slices.Equal(ref.Replicas(j), got.Replicas(j)) {
+					t.Fatalf("mode=%v tiles=%v file %d: replicas differ", mode, tiles, j)
+				}
+			}
+			if !slices.Equal(ref.CachedFiles(), got.CachedFiles()) {
+				t.Fatalf("mode=%v tiles=%v: cached sets differ", mode, tiles)
+			}
+		}
+	}
+}
+
+// checkAgainstRebuild verifies every incremental structure of p against
+// a from-scratch rebuild from p's forward map: the replica CSR, and —
+// when a tile index is attached — the tile-major segments, the tile
+// directory and the dense-file bitmaps, using exactly the construction
+// rule of buildTileIndex.
+func checkAgainstRebuild(t *testing.T, p *Placement, tl *grid.Tiling) {
+	t.Helper()
+	n, k := p.N(), p.K()
+	// Forward-map invariants + the model replica sets.
+	model := make([]map[int32]bool, k)
+	for j := range model {
+		model[j] = map[int32]bool{}
+	}
+	for u := 0; u < n; u++ {
+		files := p.NodeFiles(u)
+		if !slices.IsSorted(files) {
+			t.Fatalf("node %d file list unsorted: %v", u, files)
+		}
+		if len(files) != p.T(u) {
+			t.Fatalf("node %d: len(files)=%d, T=%d", u, len(files), p.T(u))
+		}
+		for i, f := range files {
+			if i > 0 && files[i-1] == f {
+				t.Fatalf("node %d caches file %d twice", u, f)
+			}
+			model[f][int32(u)] = true
+		}
+	}
+	for j := 0; j < k; j++ {
+		reps := p.Replicas(j)
+		if !slices.IsSorted(reps) {
+			t.Fatalf("file %d replica segment unsorted: %v", j, reps)
+		}
+		if len(reps) != len(model[j]) {
+			t.Fatalf("file %d: |S_j|=%d, model has %d", j, len(reps), len(model[j]))
+		}
+		for _, u := range reps {
+			if !model[j][u] {
+				t.Fatalf("file %d: replica at %d not in forward map", j, u)
+			}
+		}
+	}
+	ix := p.TileIndex()
+	if ix == nil {
+		return
+	}
+	// From-scratch rebuild of the tile-major segments: walk tiles in
+	// order, nodes ascending inside, emitting each non-dense file's
+	// replicas — the construction rule of buildTileIndex.
+	segs := make([][]int32, k)
+	order, orderOff := tl.Order(), tl.OrderOff()
+	for tid := int32(0); tid < int32(tl.Tiles()); tid++ {
+		for _, u := range order[orderOff[tid]:orderOff[tid+1]] {
+			for _, f := range p.NodeFiles(int(u)) {
+				if ix.FileBits(int(f)) == nil {
+					segs[f] = append(segs[f], u)
+				}
+			}
+		}
+	}
+	for j := 0; j < k; j++ {
+		if bits := ix.FileBits(j); bits != nil {
+			for u := 0; u < n; u++ {
+				got := bits[u>>6]&(1<<(uint(u)&63)) != 0
+				if got != model[j][int32(u)] {
+					t.Fatalf("dense file %d: bit for node %d = %v, model %v",
+						j, u, got, model[j][int32(u)])
+				}
+			}
+			continue
+		}
+		seg := ix.Replicas(j)
+		if !slices.Equal(seg, segs[j]) {
+			t.Fatalf("file %d: tile-major segment %v, rebuild %v", j, seg, segs[j])
+		}
+		tiles, starts, segEnd := ix.FileRuns(j)
+		if len(tiles) != len(starts) {
+			t.Fatalf("file %d: directory tiles/starts length mismatch", j)
+		}
+		// Rebuild the directory from the rebuilt segment and compare.
+		var wantTiles, wantStarts []int32
+		last := int32(-1)
+		for i, u := range segs[j] {
+			if tid := tl.TileOf(u); tid != last {
+				wantTiles = append(wantTiles, tid)
+				wantStarts = append(wantStarts, ix.repOffOf(j)+int32(i))
+				last = tid
+			}
+		}
+		if !slices.Equal(tiles, wantTiles) || !slices.Equal(starts, wantStarts) {
+			t.Fatalf("file %d: directory (%v,%v), rebuild (%v,%v)",
+				j, tiles, starts, wantTiles, wantStarts)
+		}
+		if segEnd != ix.repOffOf(j)+int32(len(segs[j])) {
+			t.Fatalf("file %d: segEnd %d, want %d", j, segEnd, ix.repOffOf(j)+int32(len(segs[j])))
+		}
+	}
+}
+
+// repOffOf exposes the segment start for the rebuild check.
+func (ix *TileIndex) repOffOf(j int) int32 { return ix.repOff[j] }
+
+// TestReplaceReplicaStorm interleaves random legal ReplaceReplica
+// batches with full set-equality checks against a from-scratch rebuild,
+// across index modes, placement modes and popularity profiles — the
+// property contract of the churn subsystem.
+func TestReplaceReplicaStorm(t *testing.T) {
+	const side, m = 8, 3
+	n := side * side
+	g := grid.New(side, grid.Torus)
+	for _, tc := range []struct {
+		name  string
+		k     int
+		pop   dist.Popularity
+		tiles bool
+		mode  Mode
+	}{
+		{name: "uniform/plain", k: 60, pop: dist.NewUniform(60)},
+		{name: "uniform/tiles", k: 60, pop: dist.NewUniform(60), tiles: true},
+		{name: "zipf/tiles", k: 40, pop: dist.NewZipf(40, 1.2), tiles: true},
+		{name: "zipf-dense/tiles", k: 8, pop: dist.NewZipf(8, 1.2), tiles: true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rand.New(rand.NewPCG(0xC0FFEE, 42))
+			pl := NewPlacer(n, m, tc.k)
+			var tl *grid.Tiling
+			if tc.tiles {
+				tl = g.NewTiling(2)
+				pl.EnableTiles(tl)
+			}
+			pl.EnableChurn()
+			p := pl.Place(tc.pop, tc.mode, r)
+			checkAgainstRebuild(t, p, tl)
+			moved, swapped := 0, 0
+			for batch := 0; batch < 30; batch++ {
+				for e := 0; e < 25; e++ {
+					slot := r.IntN(p.ReplicaSlots())
+					j, u := p.SlotReplica(slot)
+					v := int32(r.IntN(n))
+					if p.CanReplace(j, u, v) {
+						p.ReplaceReplica(j, u, v)
+						moved++
+						continue
+					}
+					if v == u || p.Has(int(v), j) || p.T(int(v)) < p.M() {
+						continue
+					}
+					vFiles := p.NodeFiles(int(v))
+					j2 := int(vFiles[r.IntN(len(vFiles))])
+					if p.CanSwap(j, u, j2, v) {
+						p.SwapReplicas(j, u, j2, v)
+						swapped++
+					}
+				}
+				checkAgainstRebuild(t, p, tl)
+			}
+			if moved == 0 || swapped == 0 {
+				t.Fatalf("storm too tame (moved=%d swapped=%d); test is vacuous", moved, swapped)
+			}
+			// A re-Place on the same Placer must fully reset the arenas.
+			p = pl.Place(tc.pop, tc.mode, r)
+			checkAgainstRebuild(t, p, tl)
+		})
+	}
+}
+
+// TestWithoutReplacementChurnDegenerate pins the documented degeneracy:
+// without-replacement placements fill every node with exactly M distinct
+// files, so no node ever has a free slot and no plain migration
+// (ReplaceReplica) is legal — churn over such a placement proceeds
+// exclusively through SwapReplicas exchanges.
+func TestWithoutReplacementChurnDegenerate(t *testing.T) {
+	r := rand.New(rand.NewPCG(5, 6))
+	pl := NewPlacer(16, 3, 40)
+	pl.EnableChurn()
+	p := pl.Place(dist.NewZipf(40, 1.2), WithoutReplacement, r)
+	for slot := 0; slot < p.ReplicaSlots(); slot++ {
+		j, u := p.SlotReplica(slot)
+		for v := 0; v < p.N(); v++ {
+			if p.CanReplace(j, u, int32(v)) {
+				t.Fatalf("file %d u=%d v=%d: migration legal on a full placement", j, u, v)
+			}
+		}
+	}
+}
+
+// TestSlotReplica checks the flat-slot inverse mapping against the CSR.
+func TestSlotReplica(t *testing.T) {
+	r := rand.New(rand.NewPCG(3, 5))
+	pl := NewPlacer(25, 2, 30)
+	pl.EnableChurn()
+	p := pl.Place(dist.NewZipf(30, 0.9), WithReplacement, r)
+	slot := 0
+	for j := 0; j < p.K(); j++ {
+		for _, u := range p.Replicas(j) {
+			gotJ, gotU := p.SlotReplica(slot)
+			if gotJ != j || gotU != u {
+				t.Fatalf("slot %d: got (%d,%d), want (%d,%d)", slot, gotJ, gotU, j, u)
+			}
+			slot++
+		}
+	}
+	if slot != p.ReplicaSlots() {
+		t.Fatalf("ReplicaSlots=%d, enumerated %d", p.ReplicaSlots(), slot)
+	}
+}
+
+// TestReplaceReplicaPanics pins the loud-failure contract for illegal
+// migrations and immutable placements.
+func TestReplaceReplicaPanics(t *testing.T) {
+	r := rand.New(rand.NewPCG(1, 2))
+	imm := NewPlacer(9, 2, 10).Place(dist.NewUniform(10), WithReplacement, r)
+	mustPanic(t, "immutable", func() { imm.ReplaceReplica(0, 0, 1) })
+
+	pl := NewPlacer(9, 2, 10)
+	pl.EnableChurn()
+	p := pl.Place(dist.NewUniform(10), WithReplacement, r)
+	var j int
+	var u int32
+	for f := 0; f < p.K(); f++ {
+		if len(p.Replicas(f)) > 0 {
+			j, u = f, p.Replicas(f)[0]
+			break
+		}
+	}
+	mustPanic(t, "same node", func() { p.ReplaceReplica(j, u, u) })
+	for v := int32(0); v < int32(p.N()); v++ {
+		if v != u && !p.Has(int(v), j) && p.T(int(v)) >= p.M() {
+			mustPanic(t, "full node", func() { p.ReplaceReplica(j, u, v) })
+			break
+		}
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: no panic", name)
+		}
+	}()
+	f()
+}
+
+// BenchmarkReplaceReplica measures the incremental maintenance cost per
+// migration event (placement CSR + tile index splices) at a paper-ish
+// shape — the number docs/perf.md weighs against a full rebuild.
+func BenchmarkReplaceReplica(b *testing.B) {
+	const side, m, k = 70, 10, 10000
+	n := side * side
+	g := grid.New(side, grid.Torus)
+	r := rand.New(rand.NewPCG(11, 13))
+	pl := NewPlacer(n, m, k)
+	pl.EnableTiles(g.NewTiling(7))
+	pl.EnableChurn()
+	p := pl.Place(dist.NewZipf(k, 1.2), WithReplacement, r)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		slot := r.IntN(p.ReplicaSlots())
+		j, u := p.SlotReplica(slot)
+		v := int32(r.IntN(n))
+		if p.CanReplace(j, u, v) {
+			p.ReplaceReplica(j, u, v)
+		}
+	}
+}

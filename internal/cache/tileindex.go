@@ -19,7 +19,11 @@ import "repro/internal/grid"
 //
 // A TileIndex is built into reusable arenas by its Placer and is
 // invalidated, like the Placement that carries it, by the next Place
-// call on that Placer.
+// call on that Placer. On churn-enabled builds (Placer.EnableChurn) the
+// index is additionally maintained incrementally: every
+// Placement.ReplaceReplica splices the affected tile run, directory and
+// bitmap in place (see churn.go), so readers always observe a state
+// identical to a from-scratch rebuild of the mutated placement.
 type TileIndex struct {
 	tl       *grid.Tiling
 	repOff   []int32 // borrowed from the Placement (length k+1)
@@ -27,6 +31,11 @@ type TileIndex struct {
 	dirTiles []int32
 	dirStart []int32
 	dirOff   []int32 // length k+1
+	// dirLen holds per-file directory lengths on churn-enabled builds,
+	// whose dirOff prefixes pad each file to its capacity
+	// min(|S_j|, Tiles) so replaceReplica can insert entries in place.
+	// nil on immutable builds (length = dirOff[j+1]-dirOff[j]).
+	dirLen []int32
 
 	// Dense-file bitmaps: files with |S_j| ≥ n/8 (at most 8M of them,
 	// since Σ|S_j| ≤ nM) get a node bitmap, so the strategies can sample
@@ -66,6 +75,9 @@ func (ix *TileIndex) Replicas(j int) []int32 { return ix.nodes[ix.repOff[j]:ix.r
 // mutate them.
 func (ix *TileIndex) FileRuns(j int) (tiles, starts []int32, segEnd int32) {
 	lo, hi := ix.dirOff[j], ix.dirOff[j+1]
+	if ix.dirLen != nil {
+		hi = lo + ix.dirLen[j]
+	}
 	return ix.dirTiles[lo:hi], ix.dirStart[lo:hi], ix.repOff[j+1]
 }
 
@@ -96,7 +108,7 @@ func (pl *Placer) EnableTiles(tl *grid.Tiling) {
 		return
 	}
 	pl.tiling = tl
-	pl.noSort = true
+	pl.noSort = !pl.mutable // churn keeps lists sorted for in-place splices
 	arena := pl.n * min(pl.m, pl.k)
 	wordsPer := (pl.n + 63) / 64
 	maxDense := min(8*pl.m, pl.k) // Σ|S_j| ≤ nM bounds files above n/8
@@ -154,7 +166,7 @@ func (pl *Placer) buildTileIndex() {
 	order, orderOff := pl.tiling.Order(), pl.tiling.OrderOff()
 	for tid := int32(0); tid < int32(pl.tiling.Tiles()); tid++ {
 		for _, u := range order[orderOff[tid]:orderOff[tid+1]] {
-			for _, f := range p.files[p.nodeOff[u]:p.nodeOff[u+1]] {
+			for _, f := range p.nodeSpan(int(u)) {
 				if ix.bitOf[f] >= 0 {
 					continue // dense: served by the bitmap, no runs needed
 				}
@@ -164,21 +176,65 @@ func (pl *Placer) buildTileIndex() {
 			}
 		}
 	}
-	ix.dirTiles, ix.dirStart = ix.dirTiles[:0], ix.dirStart[:0]
-	for j := 0; j < pl.k; j++ {
-		ix.dirOff[j] = int32(len(ix.dirTiles))
-		if ix.bitOf[j] >= 0 {
-			continue // dense: empty directory by design
-		}
-		last := int32(-1)
-		for i := p.repOff[j]; i < p.repOff[j+1]; i++ {
-			if tid := ix.entryTile[i]; tid != last {
-				ix.dirTiles = append(ix.dirTiles, tid)
-				ix.dirStart = append(ix.dirStart, i)
-				last = tid
+	if pl.mutable {
+		pl.buildMutableDirectory()
+	} else {
+		ix.dirTiles, ix.dirStart = ix.dirTiles[:0], ix.dirStart[:0]
+		for j := 0; j < pl.k; j++ {
+			ix.dirOff[j] = int32(len(ix.dirTiles))
+			if ix.bitOf[j] >= 0 {
+				continue // dense: empty directory by design
+			}
+			last := int32(-1)
+			for i := p.repOff[j]; i < p.repOff[j+1]; i++ {
+				if tid := ix.entryTile[i]; tid != last {
+					ix.dirTiles = append(ix.dirTiles, tid)
+					ix.dirStart = append(ix.dirStart, i)
+					last = tid
+				}
 			}
 		}
+		ix.dirOff[pl.k] = int32(len(ix.dirTiles))
 	}
-	ix.dirOff[pl.k] = int32(len(ix.dirTiles))
 	p.tix = ix
+}
+
+// buildMutableDirectory lays the tile directory out with per-file
+// capacity min(|S_j|, Tiles) — the most entries file j can ever occupy,
+// since |S_j| is invariant under ReplaceReplica — so replaceReplica can
+// insert and remove entries by memmove inside the file's own span.
+// Σ capacities ≤ Σ|S_j| keeps the padded layout inside the same arena
+// as the tight one. Actual lengths live in dirLen (see FileRuns).
+func (pl *Placer) buildMutableDirectory() {
+	p, ix := &pl.p, &pl.tix
+	if ix.dirLen == nil {
+		ix.dirLen = make([]int32, pl.k)
+	}
+	maxTiles := int32(pl.tiling.Tiles())
+	total := int32(0)
+	for j := 0; j < pl.k; j++ {
+		ix.dirOff[j] = total
+		if ix.bitOf[j] < 0 {
+			total += min(p.repOff[j+1]-p.repOff[j], maxTiles)
+		}
+	}
+	ix.dirOff[pl.k] = total
+	ix.dirTiles = ix.dirTiles[:total]
+	ix.dirStart = ix.dirStart[:total]
+	for j := 0; j < pl.k; j++ {
+		ln := int32(0)
+		if ix.bitOf[j] < 0 {
+			base := ix.dirOff[j]
+			last := int32(-1)
+			for i := p.repOff[j]; i < p.repOff[j+1]; i++ {
+				if tid := ix.entryTile[i]; tid != last {
+					ix.dirTiles[base+ln] = tid
+					ix.dirStart[base+ln] = i
+					ln++
+					last = tid
+				}
+			}
+		}
+		ix.dirLen[j] = ln
+	}
 }

@@ -15,7 +15,12 @@
 // d-choice generalization of Strategy II.
 //
 // Strategies carry per-instance scratch buffers and are therefore NOT safe
-// for concurrent use; the simulation engine builds one instance per trial.
+// for concurrent use; the simulation engine keeps one instance per worker
+// and rebinds it to each trial's placement (Rebindable). Strategies read
+// the bound placement (and its optional tile index) live on every Assign,
+// so the engine's churn phase can mutate both between pipeline chunks —
+// never during an Assign — and every candidate enumeration observes a
+// consistent post-mutation state.
 package core
 
 import (

@@ -31,6 +31,7 @@ var registry = map[string]Runner{
 	"directory":        DirectoryOverhead,
 	"drift":            PopularityDrift,
 	"widegrid":         WideGrid,
+	"churn":            Churn,
 }
 
 // IDs returns all experiment identifiers, sorted.

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/cache"
+)
+
+// The churn phase of the request pipeline (§VI dynamic regime): after a
+// chunk of requests is assigned and accounted, the placement mutates
+// through cache.ReplaceReplica before the next chunk is generated, so
+// the strategies always observe a fully consistent placement and tile
+// index — mutations never interleave with candidate enumeration.
+//
+// Events are scheduled by a fractional credit accumulator (ChurnRate
+// expected events per request, exact over the trial) and drawn from a
+// dedicated per-trial churn stream (xrand namespace 6), making the
+// discipline a seeded process independent of the placement and request
+// streams: ChurnNone never consumes it and stays bit-identical to the
+// pre-churn engine. An event migrates one replica to a uniform
+// destination — a plain cache.ReplaceReplica when the destination has a
+// free slot, a cache.SwapReplicas exchange (displacing a uniform
+// resident back to the source) when it is full, which is the common
+// shape in the K ≫ M regime. Infeasible events — the destination equals
+// the source or already caches the file, or the displaced file is
+// already at the source — are dropped and counted in
+// Result.ChurnSkipped. Either way |S_j| and the cached-file set are
+// invariant (see cache.ReplaceReplica), and the whole path is
+// allocation-free at steady state.
+
+// churnChunk applies the churn schedule accrued by one accounted chunk
+// of c requests. The engine skips the call after the trial's final
+// chunk (no request would ever observe the mutation).
+func (r *Runner) churnChunk(p *cache.Placement, rng *rand.Rand, c int, res *Result) {
+	w := r.w
+	r.churnCredit += w.cfg.ChurnRate * float64(c)
+	if r.drift != nil {
+		// One drift tick per chunk; rebuild the conditioned migration
+		// sampler only when the active set actually changed.
+		r.drift.Step(rng)
+		if r.driftPop == nil || r.drift.Dirty() {
+			r.rebuildDriftSampler(p)
+		}
+	}
+	n := w.g.N()
+	slots := p.ReplicaSlots()
+	for ; r.churnCredit >= 1; r.churnCredit-- {
+		var j int
+		var u int32
+		switch w.cfg.Churn {
+		case ChurnReplicas:
+			// A uniform index into the flat replica arena is a uniform
+			// cached replica: files are hit ∝ |S_j|.
+			j, u = p.SlotReplica(rng.IntN(slots))
+		case ChurnDrift:
+			// Files are hit ∝ drifting popularity (restricted to cached
+			// files, so a replica always exists); the migrated replica
+			// is uniform within S_j.
+			j = r.driftPop.Sample(rng)
+			reps := p.Replicas(j)
+			u = reps[rng.IntN(len(reps))]
+		}
+		v := int32(rng.IntN(n))
+		if v == u || p.Has(int(v), j) {
+			res.ChurnSkipped++
+			continue
+		}
+		if p.T(int(v)) < w.cfg.M {
+			// Destination has a free slot: plain migration.
+			p.ReplaceReplica(j, u, v)
+			res.ChurnEvents++
+			continue
+		}
+		// Destination full — the common shape when K ≫ M, where almost
+		// every cache holds exactly M distinct files: displace a uniform
+		// resident of v back to u (an exchange; both replica counts stay
+		// invariant). Skipped only when u already caches the displaced
+		// file (probability ≈ M/K).
+		vFiles := p.NodeFiles(int(v))
+		j2 := int(vFiles[rng.IntN(len(vFiles))])
+		if !p.CanSwap(j, u, j2, v) {
+			res.ChurnSkipped++
+			continue
+		}
+		p.SwapReplicas(j, u, j2, v)
+		res.ChurnEvents++
+	}
+}
+
+// rebuildDriftSampler reconditions the ChurnDrift file sampler on the
+// drifter's instantaneous weights masked to the placement's cached
+// files, rebuilt into the runner's CustomBuilder arenas (bit-identical
+// to a fresh dist.NewCustom, allocation-free after the first build).
+func (r *Runner) rebuildDriftSampler(p *cache.Placement) {
+	clear(r.driftWeights)
+	dw := r.drift.Weights()
+	for _, j := range p.CachedFiles() {
+		r.driftWeights[j] = dw[j]
+	}
+	r.driftPop = r.driftCond.Build(r.driftWeights, "churn-drift")
+	r.drift.ClearDirty()
+}

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"testing"
+)
+
+// churnBaseCfg is the shared fixture for the churn engine tests: big
+// enough to cross several pipeline chunks (so the churn phase actually
+// runs mid-trial), small enough to stay fast.
+func churnBaseCfg() Config {
+	return Config{Side: 16, K: 300, M: 3,
+		Popularity: PopSpec{Kind: PopZipf, Gamma: 0.9},
+		Strategy:   StrategySpec{Kind: TwoChoices, Radius: 4},
+		Requests:   4096, Seed: 0x5EED}
+}
+
+// TestChurnValidation pins the Config contract: churn modes need a
+// positive rate, a rate needs a mode, out-of-range modes are rejected.
+func TestChurnValidation(t *testing.T) {
+	cfg := churnBaseCfg()
+	cfg.Churn = ChurnReplicas
+	if _, err := Compile(cfg); err == nil {
+		t.Error("churn without rate accepted")
+	}
+	cfg = churnBaseCfg()
+	cfg.ChurnRate = 0.5
+	if _, err := Compile(cfg); err == nil {
+		t.Error("rate without churn mode accepted")
+	}
+	cfg = churnBaseCfg()
+	cfg.Churn = ChurnMode(99)
+	if _, err := Compile(cfg); err == nil {
+		t.Error("unknown churn mode accepted")
+	}
+	cfg = churnBaseCfg()
+	cfg.Churn = ChurnDrift
+	cfg.ChurnRate = 0.25
+	if _, err := Compile(cfg); err != nil {
+		t.Errorf("valid churn config rejected: %v", err)
+	}
+}
+
+// TestChurnDeterminism: identical (cfg, t) pairs must produce identical
+// results whether they run through a fresh world, a reused runner, or
+// the pooled convenience path — the same contract every other engine
+// discipline honours.
+func TestChurnDeterminism(t *testing.T) {
+	for _, churn := range []ChurnMode{ChurnReplicas, ChurnDrift} {
+		for _, index := range []IndexMode{IndexNone, IndexTiles} {
+			cfg := churnBaseCfg()
+			cfg.Churn = churn
+			cfg.ChurnRate = 0.4
+			cfg.Index = index
+			w1, err := Compile(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			w2, err := Compile(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reused := w1.NewRunner()
+			for trial := uint64(0); trial < 3; trial++ {
+				a := reused.RunTrial(trial)
+				b := w2.NewRunner().RunTrial(trial)
+				c := w2.RunTrial(trial)
+				if a != b || a != c {
+					t.Fatalf("churn=%v index=%v t=%d: reused %+v fresh %+v pooled %+v",
+						churn, index, trial, a, b, c)
+				}
+				if a.ChurnEvents == 0 {
+					t.Fatalf("churn=%v index=%v t=%d: no churn events applied", churn, index, trial)
+				}
+			}
+		}
+	}
+}
+
+// TestChurnScheduleIndexInvariant: the churn stream is independent of
+// the candidate-enumeration discipline and of the request-stream
+// discipline — event draws depend only on placement content, which is
+// identical across Index and Streams. The applied/skipped schedule must
+// therefore match exactly, even though the load results differ (the
+// strategies are distinct seeded processes).
+func TestChurnScheduleIndexInvariant(t *testing.T) {
+	for _, churn := range []ChurnMode{ChurnReplicas, ChurnDrift} {
+		type variant struct {
+			index   IndexMode
+			streams Streams
+		}
+		var ref Result
+		for i, v := range []variant{
+			{IndexNone, StreamsInterleaved},
+			{IndexTiles, StreamsInterleaved},
+			{IndexNone, StreamsSplit},
+			{IndexTiles, StreamsSplit},
+		} {
+			cfg := churnBaseCfg()
+			cfg.Churn = churn
+			cfg.ChurnRate = 0.4
+			cfg.Index = v.index
+			cfg.Streams = v.streams
+			res, err := RunTrial(cfg, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				ref = res
+				continue
+			}
+			if res.ChurnEvents != ref.ChurnEvents || res.ChurnSkipped != ref.ChurnSkipped {
+				t.Errorf("churn=%v index=%v streams=%v: schedule (%d,%d) != reference (%d,%d)",
+					churn, v.index, v.streams,
+					res.ChurnEvents, res.ChurnSkipped, ref.ChurnEvents, ref.ChurnSkipped)
+			}
+		}
+	}
+}
+
+// TestChurnMovesLoad sanity-checks that churn actually perturbs the
+// measured process relative to the frozen placement: same seed, same
+// request streams, different serving geography.
+func TestChurnMovesLoad(t *testing.T) {
+	frozen := churnBaseCfg()
+	churned := churnBaseCfg()
+	churned.Churn = ChurnReplicas
+	churned.ChurnRate = 2
+	a, err := RunTrial(frozen, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTrial(churned, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.ChurnEvents == 0 {
+		t.Fatal("no churn events at rate 2")
+	}
+	if a.MaxLoad == b.MaxLoad && a.MeanCost == b.MeanCost {
+		t.Fatalf("churn left the trial untouched: %+v vs %+v", a, b)
+	}
+	if a.Uncached != b.Uncached {
+		t.Fatalf("churn changed the cached-file set: %d vs %d uncached", a.Uncached, b.Uncached)
+	}
+}
+
+// TestChurnSteadyStateAllocs extends the engine's allocation-free
+// contract to the churn path: a warmed Runner allocates nothing per
+// trial under either churn mode, with and without the tile index —
+// migrations, swaps, drift ticks and drift-sampler rebuilds included.
+func TestChurnSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates and disables pool caching")
+	}
+	for _, variant := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"replicas", func(c *Config) { c.Churn = ChurnReplicas; c.ChurnRate = 0.5 }},
+		{"drift", func(c *Config) { c.Churn = ChurnDrift; c.ChurnRate = 0.5 }},
+		{"replicas-tiles-streaming", func(c *Config) {
+			c.Churn = ChurnReplicas
+			c.ChurnRate = 0.5
+			c.Index = IndexTiles
+			c.Metrics = MetricsStreaming
+			c.Streams = StreamsSplit
+		}},
+		{"drift-tiles", func(c *Config) {
+			c.Churn = ChurnDrift
+			c.ChurnRate = 0.5
+			c.Index = IndexTiles
+		}},
+	} {
+		cfg := paperScaleCfg()
+		variant.mut(&cfg)
+		w, err := Compile(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := w.NewRunner()
+		if res := r.RunTrial(0); res.ChurnEvents == 0 {
+			t.Fatalf("%s: warm-up trial applied no churn", variant.name)
+		}
+		r.RunTrial(1)
+		trial := uint64(2)
+		if n := testing.AllocsPerRun(3, func() {
+			r.RunTrial(trial)
+			trial++
+		}); n != 0 {
+			t.Errorf("%s: steady-state Runner.RunTrial allocates %.1f/op, want 0", variant.name, n)
+		}
+	}
+}

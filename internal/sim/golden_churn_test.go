@@ -1,0 +1,182 @@
+package sim
+
+import "testing"
+
+// churnPin is one (config, trial) → Result pair captured from the churn
+// engine at introduction time (PR 5). The churn disciplines are new
+// seeded processes — ChurnNone stays bit-identical to the PR 4 engine
+// and is frozen by the existing 110-case (IndexNone) and 50-case
+// (IndexTiles) golden matrices, whose configs all carry the zero-valued
+// Churn fields — so these pins freeze the churn RNG consumption from
+// day one: any change to the event schedule (credit accumulator, chunk
+// gating), the event shape (slot draw, destination draw, swap
+// displacement draw), the drift constants or the splice order that
+// perturbs seeded trajectories must be deliberate and re-pinned.
+type churnPin struct {
+	name  string
+	trial uint64
+	cfg   Config
+	want  Result
+}
+
+// TestGoldenMatrixChurn replays the churn-mode matrix (churn × strategy
+// × index × streams, plus miss-origin, bounded-grid, Zipf-drift,
+// heavy-rate, without-replacement, beta/d-choice and streaming-metrics
+// variants) against the captured outputs.
+func TestGoldenMatrixChurn(t *testing.T) {
+	for _, p := range churnPins {
+		got, err := RunTrial(p.cfg, p.trial)
+		if err != nil {
+			t.Fatalf("%s t=%d: %v", p.name, p.trial, err)
+		}
+		if got != p.want {
+			t.Errorf("%s t=%d:\n got %+v\nwant %+v", p.name, p.trial, got, p.want)
+		}
+	}
+}
+
+// TestChurnNoneBitIdentity re-asserts the ChurnNone freeze explicitly:
+// a Config with Churn spelled out as ChurnNone is the same comparable
+// value as the PR 4 configs of the existing golden matrices (the churn
+// fields are zero-valued there), so replaying representative pins from
+// both matrices with Churn set documents — and enforces — that the
+// churn engine left every frozen trajectory untouched.
+func TestChurnNoneBitIdentity(t *testing.T) {
+	for _, i := range []int{0, 9, 25, 60, 101} {
+		p := headPins[i%len(headPins)]
+		p.cfg.Churn = ChurnNone
+		p.cfg.ChurnRate = 0
+		got, err := RunTrial(p.cfg, p.trial)
+		if err != nil {
+			t.Fatalf("%s: %v", p.name, err)
+		}
+		if got != p.want {
+			t.Errorf("head pin %s t=%d diverged under explicit ChurnNone:\n got %+v\nwant %+v",
+				p.name, p.trial, got, p.want)
+		}
+	}
+	for _, i := range []int{0, 11, 29, 44} {
+		p := indexPins[i%len(indexPins)]
+		p.cfg.Churn = ChurnNone
+		p.cfg.ChurnRate = 0
+		got, err := RunTrial(p.cfg, p.trial)
+		if err != nil {
+			t.Fatalf("%s: %v", p.name, err)
+		}
+		if got != p.want {
+			t.Errorf("index pin %s t=%d diverged under explicit ChurnNone:\n got %+v\nwant %+v",
+				p.name, p.trial, got, p.want)
+		}
+	}
+}
+
+var churnPins = []churnPin{
+	{name: "replicas/two-choices/none/interleaved", trial: 0,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 0, Index: 0, Churn: 1, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 46, MeanCost: 5.3515625, Requests: 4096, Escalated: 2789, Backhaul: 0, Uncached: 22, ChurnEvents: 1481, ChurnSkipped: 55, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "replicas/two-choices/none/interleaved", trial: 1,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 0, Index: 0, Churn: 1, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 47, MeanCost: 5.2578125, Requests: 4096, Escalated: 2726, Backhaul: 0, Uncached: 23, ChurnEvents: 1490, ChurnSkipped: 46, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "replicas/two-choices/tiles/interleaved", trial: 0,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 0, Index: 1, Churn: 1, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 45, MeanCost: 5.33642578125, Requests: 4096, Escalated: 2782, Backhaul: 0, Uncached: 22, ChurnEvents: 1481, ChurnSkipped: 55, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "replicas/two-choices/tiles/interleaved", trial: 1,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 0, Index: 1, Churn: 1, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 47, MeanCost: 5.271728515625, Requests: 4096, Escalated: 2747, Backhaul: 0, Uncached: 23, ChurnEvents: 1490, ChurnSkipped: 46, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "replicas/two-choices/none/split", trial: 0,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 1, Index: 0, Churn: 1, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 48, MeanCost: 5.321044921875, Requests: 4096, Escalated: 2741, Backhaul: 0, Uncached: 22, ChurnEvents: 1481, ChurnSkipped: 55, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "replicas/two-choices/none/split", trial: 1,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 1, Index: 0, Churn: 1, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 56, MeanCost: 5.27490234375, Requests: 4096, Escalated: 2737, Backhaul: 0, Uncached: 23, ChurnEvents: 1490, ChurnSkipped: 46, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "replicas/two-choices/tiles/split", trial: 0,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 1, Index: 1, Churn: 1, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 45, MeanCost: 5.305908203125, Requests: 4096, Escalated: 2741, Backhaul: 0, Uncached: 22, ChurnEvents: 1481, ChurnSkipped: 55, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "replicas/two-choices/tiles/split", trial: 1,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 1, Index: 1, Churn: 1, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 54, MeanCost: 5.26123046875, Requests: 4096, Escalated: 2737, Backhaul: 0, Uncached: 23, ChurnEvents: 1490, ChurnSkipped: 46, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "drift/two-choices/none/interleaved", trial: 0,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 0, Index: 0, Churn: 2, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 46, MeanCost: 5.26904296875, Requests: 4096, Escalated: 2725, Backhaul: 0, Uncached: 22, ChurnEvents: 1499, ChurnSkipped: 37, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "drift/two-choices/none/interleaved", trial: 1,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 0, Index: 0, Churn: 2, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 54, MeanCost: 5.2392578125, Requests: 4096, Escalated: 2683, Backhaul: 0, Uncached: 23, ChurnEvents: 1507, ChurnSkipped: 29, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "drift/two-choices/tiles/interleaved", trial: 0,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 0, Index: 1, Churn: 2, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 52, MeanCost: 5.277587890625, Requests: 4096, Escalated: 2706, Backhaul: 0, Uncached: 22, ChurnEvents: 1499, ChurnSkipped: 37, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "drift/two-choices/tiles/interleaved", trial: 1,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 0, Index: 1, Churn: 2, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 55, MeanCost: 5.290283203125, Requests: 4096, Escalated: 2738, Backhaul: 0, Uncached: 23, ChurnEvents: 1507, ChurnSkipped: 29, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "drift/two-choices/none/split", trial: 0,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 1, Index: 0, Churn: 2, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 51, MeanCost: 5.240478515625, Requests: 4096, Escalated: 2714, Backhaul: 0, Uncached: 22, ChurnEvents: 1499, ChurnSkipped: 37, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "drift/two-choices/none/split", trial: 1,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 1, Index: 0, Churn: 2, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 46, MeanCost: 5.331787109375, Requests: 4096, Escalated: 2770, Backhaul: 0, Uncached: 23, ChurnEvents: 1507, ChurnSkipped: 29, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "drift/two-choices/tiles/split", trial: 0,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 1, Index: 1, Churn: 2, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 50, MeanCost: 5.249755859375, Requests: 4096, Escalated: 2714, Backhaul: 0, Uncached: 22, ChurnEvents: 1499, ChurnSkipped: 37, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "drift/two-choices/tiles/split", trial: 1,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 1, Index: 1, Churn: 2, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 46, MeanCost: 5.32470703125, Requests: 4096, Escalated: 2770, Backhaul: 0, Uncached: 23, ChurnEvents: 1507, ChurnSkipped: 29, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "replicas/nearest", trial: 0,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 0, Radius: 0, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 0, Index: 0, Churn: 1, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 57, MeanCost: 4.747802734375, Requests: 4096, Escalated: 0, Backhaul: 0, Uncached: 22, ChurnEvents: 1481, ChurnSkipped: 55, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "replicas/nearest", trial: 1,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 0, Radius: 0, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 0, Index: 0, Churn: 1, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 63, MeanCost: 4.73388671875, Requests: 4096, Escalated: 0, Backhaul: 0, Uncached: 23, ChurnEvents: 1490, ChurnSkipped: 46, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "replicas/oracle/tiles", trial: 0,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 3, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 0, Index: 1, Churn: 1, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 46, MeanCost: 5.3740234375, Requests: 4096, Escalated: 2828, Backhaul: 0, Uncached: 22, ChurnEvents: 1481, ChurnSkipped: 55, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "replicas/oracle/tiles", trial: 1,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 3, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 0, Index: 1, Churn: 1, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 56, MeanCost: 5.267822265625, Requests: 4096, Escalated: 2756, Backhaul: 0, Uncached: 23, ChurnEvents: 1490, ChurnSkipped: 46, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "replicas/one-choice/none", trial: 0,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 2, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 0, Index: 0, Churn: 1, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 64, MeanCost: 5.348388671875, Requests: 4096, Escalated: 2805, Backhaul: 0, Uncached: 22, ChurnEvents: 1481, ChurnSkipped: 55, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "replicas/one-choice/none", trial: 1,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 2, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 0, Index: 0, Churn: 1, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 57, MeanCost: 5.23583984375, Requests: 4096, Escalated: 2734, Backhaul: 0, Uncached: 23, ChurnEvents: 1490, ChurnSkipped: 46, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "replicas/miss-origin/tiles", trial: 0,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 2, Metrics: 0, Streams: 0, Index: 1, Churn: 1, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 46, MeanCost: 0.613525390625, Requests: 4096, Escalated: 0, Backhaul: 2957, Uncached: 22, ChurnEvents: 1481, ChurnSkipped: 55, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "replicas/miss-origin/tiles", trial: 1,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 2, Metrics: 0, Streams: 0, Index: 1, Churn: 1, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 41, MeanCost: 0.615234375, Requests: 4096, Escalated: 0, Backhaul: 2973, Uncached: 23, ChurnEvents: 1490, ChurnSkipped: 46, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "replicas/grid/tiles", trial: 0,
+		cfg:  Config{Side: 12, Topology: 1, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 0, Index: 1, Churn: 1, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 53, MeanCost: 7.1533203125, Requests: 4096, Escalated: 3000, Backhaul: 0, Uncached: 22, ChurnEvents: 1481, ChurnSkipped: 55, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "replicas/grid/tiles", trial: 1,
+		cfg:  Config{Side: 12, Topology: 1, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 0, Index: 1, Churn: 1, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 47, MeanCost: 7.025634765625, Requests: 4096, Escalated: 2940, Backhaul: 0, Uncached: 23, ChurnEvents: 1490, ChurnSkipped: 46, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "drift/zipf/tiles", trial: 0,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 1.2}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 0, Index: 1, Churn: 2, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 35, MeanCost: 3.186279296875, Requests: 4096, Escalated: 852, Backhaul: 0, Uncached: 79, ChurnEvents: 1382, ChurnSkipped: 154, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "drift/zipf/tiles", trial: 1,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 1.2}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 0, Index: 1, Churn: 2, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 50, MeanCost: 3.27392578125, Requests: 4096, Escalated: 933, Backhaul: 0, Uncached: 85, ChurnEvents: 1309, ChurnSkipped: 227, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "replicas/heavy-rate/tiles", trial: 0,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 0, Index: 1, Churn: 1, ChurnRate: 5, Seed: 0x63},
+		want: Result{MaxLoad: 50, MeanCost: 5.37353515625, Requests: 4096, Escalated: 2782, Backhaul: 0, Uncached: 22, ChurnEvents: 14909, ChurnSkipped: 451, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "replicas/heavy-rate/tiles", trial: 1,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 0, Index: 1, Churn: 1, ChurnRate: 5, Seed: 0x63},
+		want: Result{MaxLoad: 43, MeanCost: 5.316162109375, Requests: 4096, Escalated: 2730, Backhaul: 0, Uncached: 23, ChurnEvents: 14919, ChurnSkipped: 441, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "replicas/wor-degenerate", trial: 0,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 1, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 0, Index: 0, Churn: 1, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 48, MeanCost: 5.326904296875, Requests: 4096, Escalated: 2780, Backhaul: 0, Uncached: 22, ChurnEvents: 1495, ChurnSkipped: 41, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "replicas/wor-degenerate", trial: 1,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 1, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 0, Index: 0, Churn: 1, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 47, MeanCost: 5.2578125, Requests: 4096, Escalated: 2726, Backhaul: 0, Uncached: 23, ChurnEvents: 1490, ChurnSkipped: 46, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "replicas/beta-d3/tiles", trial: 0,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 3, WithoutReplacement: false, Beta: 0.7}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 0, Index: 1, Churn: 1, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 43, MeanCost: 5.40234375, Requests: 4096, Escalated: 2805, Backhaul: 0, Uncached: 22, ChurnEvents: 1481, ChurnSkipped: 55, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "replicas/beta-d3/tiles", trial: 1,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 3, WithoutReplacement: false, Beta: 0.7}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 0, Index: 1, Churn: 1, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 53, MeanCost: 5.296875, Requests: 4096, Escalated: 2729, Backhaul: 0, Uncached: 23, ChurnEvents: 1490, ChurnSkipped: 46, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "replicas/streaming/tiles", trial: 0,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 2, Streams: 1, Index: 1, Churn: 1, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 45, MeanCost: 5.305908203125, Requests: 4096, Escalated: 2741, Backhaul: 0, Uncached: 22, ChurnEvents: 1481, ChurnSkipped: 55, Streamed: true, HopMax: 12, HopStd: 2.7518313148196554, LoadP99: 43, LinkMaxApprox: 59}},
+	{name: "replicas/streaming/tiles", trial: 1,
+		cfg:  Config{Side: 12, Topology: 0, K: 150, M: 2, Popularity: PopSpec{Kind: 0, Gamma: 0}, PlacementMode: 0, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 2, Streams: 1, Index: 1, Churn: 1, ChurnRate: 0.5, Seed: 0x63},
+		want: Result{MaxLoad: 54, MeanCost: 5.26123046875, Requests: 4096, Escalated: 2737, Backhaul: 0, Uncached: 23, ChurnEvents: 1490, ChurnSkipped: 46, Streamed: true, HopMax: 12, HopStd: 2.6955615578113887, LoadP99: 51, LinkMaxApprox: 62}},
+}

@@ -27,8 +27,8 @@ func TestLinkMaxApproxBracketsExact(t *testing.T) {
 			Strategy: StrategySpec{Kind: TwoChoices, Radius: 8}, Streams: StreamsSplit, Index: IndexTiles}, false},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			if tc.exact && 4*tc.cfg.N() > linkSketchCap {
-				t.Fatalf("fixture bug: %d links exceed sketch capacity %d", 4*tc.cfg.N(), linkSketchCap)
+			if tc.exact && 4*tc.cfg.N() > LinkSketchCap {
+				t.Fatalf("fixture bug: %d links exceed sketch capacity %d", 4*tc.cfg.N(), LinkSketchCap)
 			}
 			for trial := uint64(0); trial < 3; trial++ {
 				ecfg := tc.cfg
@@ -44,7 +44,7 @@ func TestLinkMaxApproxBracketsExact(t *testing.T) {
 					t.Fatal(err)
 				}
 				totalHops := int64(got.MeanCost*float64(got.Requests) + 0.5)
-				bound := totalHops / linkSketchCap
+				bound := totalHops / LinkSketchCap
 				if got.LinkMaxApprox < exact.MaxLinkLoad {
 					t.Errorf("t=%d: LinkMaxApprox %d below exact max %d", trial, got.LinkMaxApprox, exact.MaxLinkLoad)
 				}

@@ -253,6 +253,63 @@ func ParseIndex(s string) (IndexMode, error) {
 	return 0, fmt.Errorf("sim: unknown index mode %q (want none or tiles)", s)
 }
 
+// ChurnMode selects the mid-trial placement-mutation discipline — the
+// engine side of the paper's §VI dynamic regime, where caches evict and
+// re-place replicas while requests keep arriving.
+type ChurnMode int
+
+const (
+	// ChurnNone freezes the placement for the whole trial (every golden
+	// matrix runs here; the churn RNG stream is never consumed). Default.
+	ChurnNone ChurnMode = iota
+	// ChurnReplicas migrates uniformly random cached replicas: each event
+	// picks a (file, node) replica slot uniformly over all Σ|S_j| slots
+	// and a uniformly random destination node. A destination with a free
+	// cache slot receives the replica outright (cache.ReplaceReplica); a
+	// full destination — the common case when K ≫ M — exchanges it for a
+	// uniformly chosen resident, whose replica moves back to the source
+	// (cache.SwapReplicas), so one event may relocate two files. Events
+	// whose destination is the source or already caches the file, or
+	// whose displaced file is already at the source, are dropped and
+	// counted in Result.ChurnSkipped. Replica counts |S_j| are invariant
+	// either way — only replica geography drifts.
+	ChurnReplicas
+	// ChurnDrift couples the migration schedule to a shot-noise
+	// popularity drifter (workload.Drifter): surging files have their
+	// replicas migrated proportionally more often, modelling caches that
+	// chase a drifting catalog. Event mechanics (free-slot migration,
+	// full-cache exchange, skip rules) and the |S_j| invariance are those
+	// of ChurnReplicas.
+	ChurnDrift
+)
+
+// String implements fmt.Stringer.
+func (c ChurnMode) String() string {
+	switch c {
+	case ChurnNone:
+		return "none"
+	case ChurnReplicas:
+		return "replicas"
+	case ChurnDrift:
+		return "drift"
+	default:
+		return fmt.Sprintf("ChurnMode(%d)", int(c))
+	}
+}
+
+// ParseChurn converts a CLI name.
+func ParseChurn(s string) (ChurnMode, error) {
+	switch s {
+	case "none", "":
+		return ChurnNone, nil
+	case "replicas":
+		return ChurnReplicas, nil
+	case "drift":
+		return ChurnDrift, nil
+	}
+	return 0, fmt.Errorf("sim: unknown churn mode %q (want none, replicas or drift)", s)
+}
+
 // Config declares one simulated world. The zero value is not runnable; use
 // the documented fields (Side, K, M are mandatory).
 type Config struct {
@@ -288,6 +345,15 @@ type Config struct {
 	// Index selects the candidate-enumeration discipline for bounded-
 	// radius strategies (zero value: IndexNone; see IndexMode).
 	Index IndexMode
+	// Churn selects the mid-trial placement-mutation discipline (zero
+	// value: ChurnNone; see ChurnMode). Non-none churn requires a
+	// positive ChurnRate.
+	Churn ChurnMode
+	// ChurnRate is the expected number of replica migration events per
+	// request; events are applied between pipeline chunks from a
+	// dedicated churn RNG stream, so the strategies always observe a
+	// consistent placement and index.
+	ChurnRate float64
 	// CollectLinks is the pre-Metrics spelling of MetricsLinks, kept for
 	// compatibility: it upgrades MetricsScalar to MetricsLinks.
 	CollectLinks bool
@@ -317,6 +383,15 @@ func (c Config) validate() error {
 	if c.Index < IndexNone || c.Index > IndexTiles {
 		return fmt.Errorf("sim: unknown index mode %d", int(c.Index))
 	}
+	if c.Churn < ChurnNone || c.Churn > ChurnDrift {
+		return fmt.Errorf("sim: unknown churn mode %d", int(c.Churn))
+	}
+	if c.Churn != ChurnNone && c.ChurnRate <= 0 {
+		return fmt.Errorf("sim: churn mode %v needs a positive ChurnRate", c.Churn)
+	}
+	if c.Churn == ChurnNone && c.ChurnRate != 0 {
+		return fmt.Errorf("sim: ChurnRate %v needs a churn mode (set Config.Churn)", c.ChurnRate)
+	}
 	if c.CollectLinks && c.Metrics == MetricsStreaming {
 		return fmt.Errorf("sim: CollectLinks materializes per-link loads; it cannot combine with MetricsStreaming")
 	}
@@ -332,6 +407,10 @@ type Result struct {
 	Backhaul  int     // requests served from upstream at the origin
 	Uncached  int     // library files with zero replicas in this trial
 
+	// Churn counters, populated only under a non-none Config.Churn.
+	ChurnEvents  int // replica migrations applied this trial
+	ChurnSkipped int // scheduled events dropped as infeasible (see ChurnMode)
+
 	// Link metrics, populated only in MetricsLinks mode (or the
 	// compatibility Config.CollectLinks spelling).
 	MaxLinkLoad    int64   // traffic on the hottest directed link
@@ -346,12 +425,13 @@ type Result struct {
 	LoadP99  int     // 99th-percentile final node load
 	// LinkMaxApprox upper-bounds the busiest directed link's traffic via
 	// a space-saving heavy-hitter sketch over link ids (stats.
-	// SpaceSaving): ≥ the exact MetricsLinks maximum, exceeding it by at
-	// most totalHops/sketch-capacity, and exact on worlds whose active
-	// link count fits the sketch. Reported while the link count stays
-	// within the sketch's meaningful range (n ≤ 16·1024); beyond that it
-	// is 0 — a k-counter summary of near-uniform wide-world link loads
-	// could only report noise (see world.go's linkSketchMaxN).
+	// SpaceSaving, capacity LinkSketchCap): ≥ the exact MetricsLinks
+	// maximum, exceeding it by at most totalHops/LinkSketchCap, and
+	// exact on worlds whose active link count fits the sketch. Reported
+	// only on worlds with n ≤ LinkSketchMaxN nodes; beyond that it is
+	// 0 — a k-counter summary of near-uniform wide-world link loads
+	// could only report noise (see LinkSketchMaxN for the full
+	// argument).
 	LinkMaxApprox int64
 }
 
@@ -422,6 +502,10 @@ type Aggregate struct {
 	HopStd        stats.Summary
 	LoadP99       stats.Summary
 	LinkMaxApprox stats.Summary
+
+	// Churn counters (only meaningful under a non-none Config.Churn).
+	ChurnEvents  stats.Summary
+	ChurnSkipped stats.Summary
 }
 
 // Add folds one trial result into the aggregate.
@@ -444,6 +528,10 @@ func (a *Aggregate) Add(r Result) {
 		a.LoadP99.Add(float64(r.LoadP99))
 		a.LinkMaxApprox.Add(float64(r.LinkMaxApprox))
 	}
+	if r.ChurnEvents > 0 || r.ChurnSkipped > 0 {
+		a.ChurnEvents.Add(float64(r.ChurnEvents))
+		a.ChurnSkipped.Add(float64(r.ChurnSkipped))
+	}
 }
 
 // Merge folds another aggregate into a (parallel reduction).
@@ -460,6 +548,8 @@ func (a *Aggregate) Merge(o Aggregate) {
 	a.HopStd.Merge(o.HopStd)
 	a.LoadP99.Merge(o.LoadP99)
 	a.LinkMaxApprox.Merge(o.LinkMaxApprox)
+	a.ChurnEvents.Merge(o.ChurnEvents)
+	a.ChurnSkipped.Merge(o.ChurnSkipped)
 }
 
 // String renders the headline metrics.

@@ -12,6 +12,7 @@ import (
 	"repro/internal/replication"
 	"repro/internal/routing"
 	"repro/internal/stats"
+	"repro/internal/workload"
 	"repro/internal/xrand"
 )
 
@@ -21,20 +22,22 @@ import (
 // per-chunk loop overhead vanishes.
 const defaultChunk = 1024
 
-// linkSketchCap is the capacity of the streaming mode's space-saving
-// link sketch (ROADMAP item: approximate max-link-load at O(1) memory).
-// Worlds with ≤ 1024 active directed links get exact counts; wider
-// worlds an upper bound within totalHops/1024.
-const linkSketchCap = 1 << 10
+// LinkSketchCap is the capacity of the streaming mode's space-saving
+// link sketch (stats.SpaceSaving): the number of directed-link counters
+// Result.LinkMaxApprox is summarized through. Worlds whose active link
+// count fits the sketch get exact maxima; wider worlds an upper bound
+// within totalHops/LinkSketchCap.
+const LinkSketchCap = 1 << 10
 
-// linkSketchMaxN gates the sketch: it runs while the directed-link
+// LinkSketchMaxN gates Result.LinkMaxApprox: the sketch runs only on
+// worlds with n ≤ LinkSketchMaxN nodes, i.e. while the directed-link
 // count 4n stays within 64× the sketch capacity. Beyond that a k-counter
 // heavy-hitter summary is pure churn — its guarantee degrades to
 // "within totalHops/k", which on near-uniform torus link loads dwarfs
 // any real maximum (meaningful wide-world link accounting needs Ω(n)
 // counters, i.e. MetricsLinks) — and the O(totalHops) feed would
 // dominate the trial. Out-of-range trials report LinkMaxApprox = 0.
-const linkSketchMaxN = 16 * linkSketchCap
+const LinkSketchMaxN = 16 * LinkSketchCap
 
 // loadHistBound is the baseline resolution of the streaming load
 // histogram. The actual bound scales with the mean per-node load (see
@@ -64,6 +67,7 @@ type World struct {
 	originSrc    xrand.Source // namespace 3: split-discipline origin streams
 	fileSrc      xrand.Source // namespace 4: split-discipline file streams
 	assignSrc    xrand.Source // namespace 5: split-discipline assignment streams
+	churnSrc     xrand.Source // namespace 6: churn event streams
 	nReq         int
 	metrics      MetricsMode  // resolved (CollectLinks folded in)
 	chunk        int          // request-pipeline block size (tests override)
@@ -87,6 +91,7 @@ func Compile(cfg Config) (*World, error) {
 		originSrc: src.Split(3),
 		fileSrc:   src.Split(4),
 		assignSrc: src.Split(5),
+		churnSrc:  src.Split(6),
 		metrics:   cfg.Metrics,
 		chunk:     defaultChunk,
 	}
@@ -178,7 +183,11 @@ const (
 //	assign   — run the strategy per request, updating the load vector and
 //	           recording (server, hops, flags);
 //	account  — fold the chunk's records into the trial accumulators
-//	           (hop sum, miss counters, link loads or streaming moments).
+//	           (hop sum, miss counters, link loads or streaming moments);
+//	churn    — under a non-none Config.Churn, mutate the placement (and
+//	           tile index) in place through cache.ReplaceReplica before
+//	           the next chunk is generated (see churn.go), so strategies
+//	           never observe a half-spliced index.
 //
 // Under the default StreamsInterleaved discipline the generate and assign
 // phases are fused into one pass: every strategy draws from the same
@@ -196,7 +205,17 @@ type Runner struct {
 	weights []float64
 	cond    *dist.CustomBuilder
 
-	place, req, origin, file, assign reseedRand
+	place, req, origin, file, assign, churn reseedRand
+
+	// Churn state (Config.Churn != ChurnNone): the fractional event
+	// credit carried between chunks and, for ChurnDrift, the shot-noise
+	// drifter plus the arenas its conditioned file sampler is rebuilt
+	// into (CustomBuilder reuse keeps the churn path allocation-free).
+	churnCredit  float64
+	drift        *workload.Drifter
+	driftWeights []float64
+	driftCond    *dist.CustomBuilder
+	driftPop     dist.Popularity
 
 	// Chunk buffers of the request pipeline (len = min(chunk, requests)).
 	origins []int32
@@ -247,6 +266,18 @@ func indexedRadius(cfg Config, g *grid.Grid) (int, bool) {
 	return 0, false
 }
 
+// churnDrift* parameterize the ChurnDrift popularity drifter, in chunk
+// ticks (the drifter steps once per pipeline chunk): roughly one file in
+// a thousand surges per chunk, surges last 64 chunks on average and
+// boost a file's migration weight 10×. The constants aim the drifter at
+// visible catalog turnover within a 10⁵–10⁶ request trial; they are part
+// of the seeded process frozen by the churn golden pins.
+const (
+	churnDriftBoost    = 10.0
+	churnDriftBirth    = 1e-3
+	churnDriftLifespan = 64.0
+)
+
 // NewRunner returns a fresh Runner over w.
 func (w *World) NewRunner() *Runner {
 	b := min(w.chunk, w.nReq)
@@ -254,7 +285,7 @@ func (w *World) NewRunner() *Runner {
 	if w.tiling != nil {
 		placer.EnableTiles(w.tiling)
 	}
-	return &Runner{
+	r := &Runner{
 		w:       w,
 		placer:  placer,
 		loads:   ballsbins.NewLoads(w.g.N()),
@@ -264,6 +295,15 @@ func (w *World) NewRunner() *Runner {
 		hops:    make([]int32, b),
 		flags:   make([]uint8, b),
 	}
+	if w.cfg.Churn != ChurnNone {
+		placer.EnableChurn()
+		if w.cfg.Churn == ChurnDrift {
+			r.drift = workload.NewDrifter(w.cfg.K, churnDriftBoost, churnDriftBirth, churnDriftLifespan)
+			r.driftWeights = make([]float64, w.cfg.K)
+			r.driftCond = dist.NewCustomBuilder(w.cfg.K)
+		}
+	}
+	return r
 }
 
 // strategy returns the per-runner strategy instance bound to p, rebinding
@@ -336,8 +376,8 @@ func (r *Runner) RunTrial(t uint64) Result {
 		if r.hopAcc == nil {
 			r.hopAcc = stats.NewAccumulator(w.g.Diameter())
 			r.loadAcc = stats.NewAccumulator(w.loadBound)
-			if n <= linkSketchMaxN {
-				r.links64 = stats.NewSpaceSaving(linkSketchCap)
+			if n <= LinkSketchMaxN {
+				r.links64 = stats.NewSpaceSaving(LinkSketchCap)
 				r.linkBuf = make([]uint64, 0, w.g.Diameter()+1)
 			}
 		}
@@ -349,6 +389,18 @@ func (r *Runner) RunTrial(t uint64) Result {
 		hopAcc = r.hopAcc
 	}
 
+	// The churn stream is derived (and consumed) only for non-none churn,
+	// so ChurnNone trials remain bit-identical to the pre-churn engine.
+	var churnRNG *rand.Rand
+	if w.cfg.Churn != ChurnNone {
+		churnRNG = r.churn.stream(w.churnSrc, t)
+		r.churnCredit = 0
+		if r.drift != nil {
+			r.drift.Reset()
+			r.driftPop = nil
+		}
+	}
+
 	var a acct
 	chunk := len(r.origins)
 	switch w.cfg.Streams {
@@ -358,6 +410,9 @@ func (r *Runner) RunTrial(t uint64) Result {
 			c := min(chunk, w.nReq-base)
 			r.generateAssign(strat, fileSampler, reqRNG, c)
 			r.account(c, &a, links, hopAcc)
+			if churnRNG != nil && base+c < w.nReq {
+				r.churnChunk(placement, churnRNG, c, &res)
+			}
 		}
 	case StreamsSplit:
 		originRNG := r.origin.stream(w.originSrc, t)
@@ -368,6 +423,9 @@ func (r *Runner) RunTrial(t uint64) Result {
 			dist.RequestBatch(originRNG, fileRNG, n, fileSampler, r.origins[:c], r.files[:c])
 			r.assignChunk(strat, assignRNG, c)
 			r.account(c, &a, links, hopAcc)
+			if churnRNG != nil && base+c < w.nReq {
+				r.churnChunk(placement, churnRNG, c, &res)
+			}
 		}
 	}
 

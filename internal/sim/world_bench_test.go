@@ -133,3 +133,48 @@ func BenchmarkCompile(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkWorldRunTrialChurn measures the paper-scale trial with the
+// dynamic regime switched on (ChurnReplicas, rate 0.5 — one migration
+// per two requests, ~2k events per trial) under the tile index: the
+// incremental Placement/TileIndex maintenance costs under a µs per
+// event (~0.9 µs including the swap double-splices), so even this heavy
+// schedule keeps the dynamic trial at ~1.6× the frozen-placement
+// BenchmarkWorldRunTrialIndexed, where per-chunk from-scratch rebuilds
+// would more than double it (see docs/perf.md's tradeoff table).
+func BenchmarkWorldRunTrialChurn(b *testing.B) {
+	cfg := paperScaleCfg()
+	cfg.Index = IndexTiles
+	cfg.Churn = ChurnReplicas
+	cfg.ChurnRate = 0.5
+	w, err := Compile(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := w.NewRunner()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.RunTrial(uint64(i))
+	}
+}
+
+// BenchmarkWorldRunTrialChurnDrift is the same point under the
+// popularity-drift-coupled schedule (drifter tick + conditioned-sampler
+// rebuild per chunk on top of the migrations).
+func BenchmarkWorldRunTrialChurnDrift(b *testing.B) {
+	cfg := paperScaleCfg()
+	cfg.Index = IndexTiles
+	cfg.Churn = ChurnDrift
+	cfg.ChurnRate = 0.5
+	w, err := Compile(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := w.NewRunner()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.RunTrial(uint64(i))
+	}
+}

@@ -51,13 +51,15 @@ func (s IRM) K() int { return s.Pop.K() }
 // Name implements Stream.
 func (s IRM) Name() string { return "irm(" + s.Pop.Name() + ")" }
 
-// ShotNoise models catalog churn: at every step each of the k files is
-// either dormant (baseline weight) or active (boosted weight); files
-// activate independently with probability birthRate per step and stay
-// active for a geometric lifetime with mean lifespan steps. The active
-// set therefore turns over continuously, dragging the instantaneous
-// popularity away from the long-run average.
-type ShotNoise struct {
+// Drifter is the shot-noise activity core, factored out so consumers
+// that manage their own samplers (the simulation engine's drift-coupled
+// churn rebuilds a conditioned alias table into reusable arenas) can
+// drive the drift without ShotNoise's per-rebuild allocations. Each of
+// the k files is either dormant (weight 1) or active (weight boost);
+// files activate independently with probability birthRate per Step and
+// stay active for a geometric lifetime with mean lifespan steps.
+// Deterministic given its RNG; Step and Reset never allocate.
+type Drifter struct {
 	k         int
 	boost     float64 // weight multiplier while active
 	birthRate float64 // per-file activation probability per step
@@ -65,12 +67,11 @@ type ShotNoise struct {
 	active    []bool
 	weights   []float64
 	dirty     bool
-	sampler   *dist.Alias
 }
 
-// NewShotNoise builds a shot-noise stream over k files. boost ≥ 1 is the
+// NewDrifter builds the activity core over k files. boost ≥ 1 is the
 // activity multiplier; expected concurrent actives ≈ k·birth/(birth+death).
-func NewShotNoise(k int, boost, birthRate float64, lifespan float64) *ShotNoise {
+func NewDrifter(k int, boost, birthRate, lifespan float64) *Drifter {
 	if k <= 0 {
 		panic(fmt.Sprintf("workload: need k > 0, got %d", k))
 	}
@@ -78,7 +79,7 @@ func NewShotNoise(k int, boost, birthRate float64, lifespan float64) *ShotNoise 
 		panic(fmt.Sprintf("workload: invalid shot-noise params boost=%v birth=%v lifespan=%v",
 			boost, birthRate, lifespan))
 	}
-	s := &ShotNoise{
+	d := &Drifter{
 		k:         k,
 		boost:     boost,
 		birthRate: birthRate,
@@ -86,28 +87,17 @@ func NewShotNoise(k int, boost, birthRate float64, lifespan float64) *ShotNoise 
 		active:    make([]bool, k),
 		weights:   make([]float64, k),
 	}
-	for i := range s.weights {
-		s.weights[i] = 1
+	for i := range d.weights {
+		d.weights[i] = 1
 	}
-	s.rebuild()
-	return s
+	return d
 }
 
-func (s *ShotNoise) rebuild() {
-	probs := make([]float64, s.k)
-	sum := 0.0
-	for _, w := range s.weights {
-		sum += w
-	}
-	for i, w := range s.weights {
-		probs[i] = w / sum
-	}
-	s.sampler = dist.NewAlias(probs)
-	s.dirty = false
-}
+// K returns the library size.
+func (d *Drifter) K() int { return d.k }
 
-// step evolves the active set by one tick.
-func (s *ShotNoise) step(r *rand.Rand) {
+// Step evolves the active set by one tick.
+func (d *Drifter) Step(r *rand.Rand) {
 	// Evolving every file every tick is O(k); instead exploit that
 	// births and deaths are rare: draw binomial counts via expected
 	// thinning. For simplicity and exactness we flip a coin per file
@@ -122,24 +112,87 @@ func (s *ShotNoise) step(r *rand.Rand) {
 		for {
 			skip := geometricSkip(r, p)
 			i += skip
-			if i >= s.k {
+			if i >= d.k {
 				return
 			}
 			if match(i) {
 				set(i)
-				s.dirty = true
+				d.dirty = true
 			}
 			i++
 		}
 	}
-	flip(s.birthRate, func(i int) bool { return !s.active[i] }, func(i int) {
-		s.active[i] = true
-		s.weights[i] = s.boost
+	flip(d.birthRate, func(i int) bool { return !d.active[i] }, func(i int) {
+		d.active[i] = true
+		d.weights[i] = d.boost
 	})
-	flip(s.deathRate, func(i int) bool { return s.active[i] }, func(i int) {
-		s.active[i] = false
-		s.weights[i] = 1
+	flip(d.deathRate, func(i int) bool { return d.active[i] }, func(i int) {
+		d.active[i] = false
+		d.weights[i] = 1
 	})
+}
+
+// Weights returns the live instantaneous weight vector (1 dormant,
+// boost active). The caller must not mutate it; it changes on Step.
+func (d *Drifter) Weights() []float64 { return d.weights }
+
+// Dirty reports whether the active set changed since the last
+// ClearDirty — the signal to rebuild a sampler over Weights.
+func (d *Drifter) Dirty() bool { return d.dirty }
+
+// ClearDirty acknowledges a sampler rebuild.
+func (d *Drifter) ClearDirty() { d.dirty = false }
+
+// Reset returns every file to dormant and marks the drifter dirty, so
+// per-trial consumers start from a deterministic state.
+func (d *Drifter) Reset() {
+	clear(d.active)
+	for i := range d.weights {
+		d.weights[i] = 1
+	}
+	d.dirty = true
+}
+
+// ActiveCount returns the current number of active files.
+func (d *Drifter) ActiveCount() int {
+	c := 0
+	for _, a := range d.active {
+		if a {
+			c++
+		}
+	}
+	return c
+}
+
+// ShotNoise models catalog churn as a request stream: a Drifter evolves
+// the active set one tick per request, and files are sampled from the
+// instantaneous weights. The active set turns over continuously,
+// dragging the instantaneous popularity away from the long-run average.
+type ShotNoise struct {
+	d       *Drifter
+	sampler *dist.Alias
+}
+
+// NewShotNoise builds a shot-noise stream over k files. Parameters as in
+// NewDrifter.
+func NewShotNoise(k int, boost, birthRate float64, lifespan float64) *ShotNoise {
+	s := &ShotNoise{d: NewDrifter(k, boost, birthRate, lifespan)}
+	s.rebuild()
+	return s
+}
+
+func (s *ShotNoise) rebuild() {
+	k := s.d.k
+	probs := make([]float64, k)
+	sum := 0.0
+	for _, w := range s.d.weights {
+		sum += w
+	}
+	for i, w := range s.d.weights {
+		probs[i] = w / sum
+	}
+	s.sampler = dist.NewAlias(probs)
+	s.d.ClearDirty()
 }
 
 // geometricSkip returns the number of failures before the next success of
@@ -162,33 +215,25 @@ func geometricSkip(r *rand.Rand, p float64) int {
 
 // Next implements Stream.
 func (s *ShotNoise) Next(r *rand.Rand) int {
-	s.step(r)
-	if s.dirty {
+	s.d.Step(r)
+	if s.d.Dirty() {
 		s.rebuild()
 	}
 	return s.sampler.Sample(r)
 }
 
 // K implements Stream.
-func (s *ShotNoise) K() int { return s.k }
+func (s *ShotNoise) K() int { return s.d.k }
 
 // Name implements Stream.
-func (s *ShotNoise) Name() string { return fmt.Sprintf("shotnoise(boost=%.0f)", s.boost) }
+func (s *ShotNoise) Name() string { return fmt.Sprintf("shotnoise(boost=%.0f)", s.d.boost) }
 
 // ActiveCount returns the current number of active files.
-func (s *ShotNoise) ActiveCount() int {
-	c := 0
-	for _, a := range s.active {
-		if a {
-			c++
-		}
-	}
-	return c
-}
+func (s *ShotNoise) ActiveCount() int { return s.d.ActiveCount() }
 
 // Truth returns the instantaneous ground-truth popularity.
 func (s *ShotNoise) Truth() dist.Popularity {
-	return dist.NewCustom(append([]float64(nil), s.weights...), "shotnoise-truth")
+	return dist.NewCustom(append([]float64(nil), s.d.weights...), "shotnoise-truth")
 }
 
 // Window is a sliding-window popularity estimator: it counts the last

@@ -79,7 +79,7 @@ func TestShotNoiseBoostsActives(t *testing.T) {
 		f := s.Next(r)
 		if i > 5000 {
 			total++
-			if s.active[f] {
+			if s.d.active[f] {
 				hits++
 			}
 		}
@@ -98,10 +98,10 @@ func TestShotNoiseTruthTracksWeights(t *testing.T) {
 	}
 	truth := s.Truth()
 	for j := 0; j < 50; j++ {
-		wantBoost := s.active[j]
+		wantBoost := s.d.active[j]
 		isBig := truth.P(j) > 1.5/50.0/2 // boosted files carry ≫ uniform mass
 		if wantBoost != (truth.P(j) > 0.02) && wantBoost != isBig {
-			t.Fatalf("truth profile inconsistent at %d: active=%v p=%v", j, s.active[j], truth.P(j))
+			t.Fatalf("truth profile inconsistent at %d: active=%v p=%v", j, s.d.active[j], truth.P(j))
 		}
 	}
 	if s.Name() == "" || s.K() != 50 {

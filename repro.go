@@ -44,6 +44,7 @@ import (
 	"repro/internal/replication"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/workload"
 	"repro/internal/xrand"
 )
 
@@ -184,9 +185,15 @@ type (
 	// IndexMode selects the candidate-enumeration discipline of the
 	// radius-bounded strategies (none or tiles).
 	IndexMode = sim.IndexMode
+	// ChurnMode selects the mid-trial placement-mutation discipline of
+	// the §VI dynamic regime (none, replicas or drift).
+	ChurnMode = sim.ChurnMode
 	// SpaceSaving is the heavy-hitter sketch behind the streaming mode's
 	// approximate max-link-load (Result.LinkMaxApprox).
 	SpaceSaving = stats.SpaceSaving
+	// Drifter is the shot-noise popularity-activity core driving the
+	// drift-coupled churn schedule and the workload streams.
+	Drifter = workload.Drifter
 )
 
 // NewAccumulator returns a streaming accumulator whose histogram resolves
@@ -221,6 +228,37 @@ const (
 	// spatial replica index — the sub-second wide-world discipline.
 	IndexTiles = sim.IndexTiles
 )
+
+// Churn discipline constants for Config.Churn.
+const (
+	// ChurnNone freezes the placement for the whole trial (default,
+	// golden-pinned).
+	ChurnNone = sim.ChurnNone
+	// ChurnReplicas migrates uniformly random cached replicas mid-trial.
+	ChurnReplicas = sim.ChurnReplicas
+	// ChurnDrift couples migrations to a shot-noise popularity drifter.
+	ChurnDrift = sim.ChurnDrift
+)
+
+// Link-sketch bounds for Result.LinkMaxApprox (MetricsStreaming): the
+// sketch holds LinkSketchCap directed-link counters and runs on worlds
+// with at most LinkSketchMaxN nodes; larger worlds report 0. See
+// sim.LinkSketchMaxN for why the gate exists.
+const (
+	// LinkSketchCap is the space-saving sketch capacity.
+	LinkSketchCap = sim.LinkSketchCap
+	// LinkSketchMaxN is the largest node count the sketch reports on.
+	LinkSketchMaxN = sim.LinkSketchMaxN
+)
+
+// NewDrifter returns a shot-noise activity core over k files. See
+// workload.NewDrifter.
+func NewDrifter(k int, boost, birthRate, lifespan float64) *Drifter {
+	return workload.NewDrifter(k, boost, birthRate, lifespan)
+}
+
+// ParseChurn converts a CLI name into a ChurnMode.
+func ParseChurn(s string) (ChurnMode, error) { return sim.ParseChurn(s) }
 
 // NewSpaceSaving returns a heavy-hitter sketch monitoring up to k keys.
 func NewSpaceSaving(k int) *SpaceSaving { return stats.NewSpaceSaving(k) }
