@@ -19,6 +19,17 @@
 //
 //	cachesim -side 25 -k 2000 -m 4 -strategy two-choices -radius 6 \
 //	    -requests 8192 -churn replicas -churn-rate 0.5 -trials 20
+//
+// Intra-trial sharding — one trial's request pipeline on P workers
+// (requires -streams split; -shard-workers is orthogonal to -workers,
+// which parallelizes across trials). The default deterministic mode is
+// bit-identical for every P; racy mode shares one atomic load vector to
+// model allocation under stale load reads:
+//
+//	cachesim -side 1000 -k 10000 -m 10 -strategy two-choices -radius 8 \
+//	    -metrics streaming -streams split -index tiles -shard-workers 8 -trials 4
+//	cachesim -side 25 -k 2000 -m 4 -strategy two-choices -radius 6 \
+//	    -streams split -shard-workers 8 -shard racy -chunk 256 -trials 20
 package main
 
 import (
@@ -47,13 +58,16 @@ func main() {
 		index    = flag.String("index", "none", "candidate enumeration for bounded radii: none or tiles (spatial replica index)")
 		churn    = flag.String("churn", "none", "mid-trial re-placement: none, replicas (uniform migration) or drift (popularity-coupled)")
 		churnRt  = flag.Float64("churn-rate", 0, "expected replica migrations per request (required with -churn)")
+		shardW   = flag.Int("shard-workers", 0, "intra-trial shard workers P (0 = sequential engine; needs -streams split)")
+		shard    = flag.String("shard", "deterministic", "sharded load visibility: deterministic (bit-identical across P) or racy (shared atomic loads)")
+		chunk    = flag.Int("chunk", 0, "request-pipeline chunk size (0 = engine default; multiple of 64 under -shard-workers)")
 		trials   = flag.Int("trials", 50, "independent trials")
-		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "parallel workers across trials (0 = GOMAXPROCS)")
 		seed     = flag.Uint64("seed", 2017, "root random seed")
 	)
 	flag.Parse()
 
-	cfg, err := buildConfig(*side, *topo, *k, *m, *gamma, *strategy, *radius, *choices, *requests, *miss, *metrics, *streams, *index, *churn, *churnRt, *seed)
+	cfg, err := buildConfig(*side, *topo, *k, *m, *gamma, *strategy, *radius, *choices, *requests, *miss, *metrics, *streams, *index, *churn, *churnRt, *shardW, *shard, *chunk, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cachesim:", err)
 		os.Exit(2)
@@ -89,7 +103,7 @@ func main() {
 // buildConfig translates CLI flags into a sim configuration.
 func buildConfig(side int, topo string, k, m int, gamma float64, strategy string,
 	radius, choices, requests int, miss, metrics, streams, index, churn string,
-	churnRate float64, seed uint64) (repro.Config, error) {
+	churnRate float64, shardWorkers int, shard string, chunk int, seed uint64) (repro.Config, error) {
 	var cfg repro.Config
 	tp, err := grid.ParseTopology(topo)
 	if err != nil {
@@ -111,10 +125,15 @@ func buildConfig(side int, topo string, k, m int, gamma float64, strategy string
 	if err != nil {
 		return cfg, err
 	}
+	sh, err := repro.ParseShard(shard)
+	if err != nil {
+		return cfg, err
+	}
 	cfg = repro.Config{
 		Side: side, Topology: tp, K: k, M: m,
 		Requests: requests, Metrics: mm, Streams: sd, Index: ix,
-		Churn: ch, ChurnRate: churnRate, Seed: seed,
+		Churn: ch, ChurnRate: churnRate,
+		Workers: shardWorkers, Shard: sh, Chunk: chunk, Seed: seed,
 	}
 	if gamma > 0 {
 		cfg.Popularity = repro.PopSpec{Kind: repro.PopZipf, Gamma: gamma}

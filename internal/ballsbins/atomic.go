@@ -1,0 +1,70 @@
+package ballsbins
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// AtomicLoads is the lock-free shared-memory variant of Loads used by the
+// simulation engine's ShardRacy discipline: P workers place balls into one
+// shared vector with atomic increments while reading other bins' loads
+// without any synchronization beyond the atomics themselves. Reads are
+// therefore *stale* — a worker may observe a bin's load from before
+// another worker's in-flight increments — which is exactly the
+// outdated-information allocation model the racy mode studies. Every
+// access is atomic, so the vector is data-race-free by construction even
+// though its results are scheduling-dependent.
+type AtomicLoads struct {
+	bins []int32
+}
+
+// NewAtomicLoads returns an all-zero atomic load vector over n bins.
+func NewAtomicLoads(n int) *AtomicLoads {
+	if n <= 0 {
+		panic(fmt.Sprintf("ballsbins: need n > 0 bins, got %d", n))
+	}
+	return &AtomicLoads{bins: make([]int32, n)}
+}
+
+// N returns the number of bins.
+func (l *AtomicLoads) N() int { return len(l.bins) }
+
+// Load returns the current load of bin i (an atomic, possibly stale read
+// when other workers are concurrently adding).
+func (l *AtomicLoads) Load(i int) int {
+	return int(atomic.LoadInt32(&l.bins[i]))
+}
+
+// Add places one ball into bin i and returns the bin's new load. The
+// return value lets each worker maintain a running maximum without a
+// shared max cell: the true maximum load is the max over all Add returns.
+func (l *AtomicLoads) Add(i int) int {
+	return int(atomic.AddInt32(&l.bins[i], 1))
+}
+
+// Max scans for the current maximum load. Exact only while no Adds are in
+// flight (e.g. at a trial barrier); concurrent callers get a lower bound.
+func (l *AtomicLoads) Max() int {
+	var m int32
+	for i := range l.bins {
+		if v := atomic.LoadInt32(&l.bins[i]); v > m {
+			m = v
+		}
+	}
+	return int(m)
+}
+
+// Total returns the number of balls placed so far (exact at quiescence).
+func (l *AtomicLoads) Total() int {
+	t := 0
+	for i := range l.bins {
+		t += int(atomic.LoadInt32(&l.bins[i]))
+	}
+	return t
+}
+
+// Reset zeroes the vector for a new trial. Callers must guarantee
+// quiescence (no concurrent Add/Load); the engine resets only while its
+// workers are parked at a barrier, which establishes the happens-before
+// edge that makes the plain clear race-free.
+func (l *AtomicLoads) Reset() { clear(l.bins) }

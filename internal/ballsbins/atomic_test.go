@@ -1,0 +1,86 @@
+package ballsbins
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAtomicLoadsBasics(t *testing.T) {
+	l := NewAtomicLoads(4)
+	if l.N() != 4 {
+		t.Fatalf("N = %d, want 4", l.N())
+	}
+	if got := l.Add(2); got != 1 {
+		t.Fatalf("first Add returned %d, want 1", got)
+	}
+	if got := l.Add(2); got != 2 {
+		t.Fatalf("second Add returned %d, want 2", got)
+	}
+	l.Add(0)
+	if l.Load(2) != 2 || l.Load(0) != 1 || l.Load(1) != 0 {
+		t.Fatalf("loads = [%d %d %d %d]", l.Load(0), l.Load(1), l.Load(2), l.Load(3))
+	}
+	if l.Max() != 2 {
+		t.Fatalf("Max = %d, want 2", l.Max())
+	}
+	if l.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", l.Total())
+	}
+	l.Reset()
+	if l.Max() != 0 || l.Total() != 0 {
+		t.Fatalf("after Reset: Max=%d Total=%d", l.Max(), l.Total())
+	}
+}
+
+func TestNewAtomicLoadsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewAtomicLoads(0) did not panic")
+		}
+	}()
+	NewAtomicLoads(0)
+}
+
+// TestAtomicLoadsConcurrentAdds hammers one vector from many goroutines
+// and checks conservation plus the max-over-Add-returns invariant. Run
+// under -race this also proves the access pattern is data-race-free.
+func TestAtomicLoadsConcurrentAdds(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 10000
+		bins    = 64
+	)
+	l := NewAtomicLoads(bins)
+	maxes := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := 0
+			for i := 0; i < perW; i++ {
+				// Deterministic skewed spray; reads interleave with
+				// other workers' adds, as in the racy engine.
+				b := (i*i + w) % bins
+				_ = l.Load((b + 1) % bins)
+				if v := l.Add(b); v > m {
+					m = v
+				}
+			}
+			maxes[w] = m
+		}(w)
+	}
+	wg.Wait()
+	if got, want := l.Total(), workers*perW; got != want {
+		t.Fatalf("Total = %d, want %d", got, want)
+	}
+	m := 0
+	for _, v := range maxes {
+		if v > m {
+			m = v
+		}
+	}
+	if got := l.Max(); got != m {
+		t.Fatalf("Max scan = %d, max over Add returns = %d", got, m)
+	}
+}

@@ -26,7 +26,6 @@ package core
 import (
 	"math/rand/v2"
 
-	"repro/internal/ballsbins"
 	"repro/internal/cache"
 	"repro/internal/grid"
 )
@@ -45,12 +44,22 @@ type Assignment struct {
 	Backhaul  bool  // file cached nowhere; served at origin from upstream
 }
 
+// LoadReader is the strategies' read-only view of the running load
+// vector. *ballsbins.Loads is the canonical sequential implementation;
+// the sharded engine substitutes a frozen per-chunk snapshot
+// (ShardDeterministic) or an atomically read shared vector (ShardRacy)
+// without the strategies knowing which discipline they run under.
+type LoadReader interface {
+	// Load returns the current load of node i.
+	Load(i int) int
+}
+
 // Strategy maps requests to servers, observing (and updating through the
 // caller) the running load vector.
 type Strategy interface {
 	// Assign chooses the serving node for req given current loads.
 	// It must not mutate loads; the caller applies the placement.
-	Assign(req Request, loads *ballsbins.Loads, r *rand.Rand) Assignment
+	Assign(req Request, loads LoadReader, r *rand.Rand) Assignment
 	// Name identifies the strategy in experiment output.
 	Name() string
 }

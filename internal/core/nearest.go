@@ -4,7 +4,6 @@ import (
 	"math"
 	"math/rand/v2"
 
-	"repro/internal/ballsbins"
 	"repro/internal/cache"
 	"repro/internal/grid"
 )
@@ -83,7 +82,7 @@ func (s *NearestReplica) Rebind(p *cache.Placement) { s.common.rebind(p) }
 func (s *NearestReplica) Name() string { return "nearest-replica" }
 
 // Assign implements Strategy.
-func (s *NearestReplica) Assign(req Request, _ *ballsbins.Loads, r *rand.Rand) Assignment {
+func (s *NearestReplica) Assign(req Request, _ LoadReader, r *rand.Rand) Assignment {
 	reps := s.p.Replicas(int(req.File))
 	if len(reps) == 0 {
 		return backhaul(req)

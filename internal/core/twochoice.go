@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand/v2"
 
-	"repro/internal/ballsbins"
 	"repro/internal/cache"
 	"repro/internal/grid"
 )
@@ -173,7 +172,7 @@ func (s *TwoChoice) radiusLabel() string {
 func (s *TwoChoice) Radius() int { return s.cfg.Radius }
 
 // Assign implements Strategy.
-func (s *TwoChoice) Assign(req Request, loads *ballsbins.Loads, r *rand.Rand) Assignment {
+func (s *TwoChoice) Assign(req Request, loads LoadReader, r *rand.Rand) Assignment {
 	reps := s.p.Replicas(int(req.File))
 	if len(reps) == 0 {
 		return backhaul(req)
@@ -542,7 +541,7 @@ func (s *TwoChoice) distFrom(ox, oy int, v int32) int {
 // uniform over S_j ∩ B_r(u) exactly like the rejection samplers of the
 // non-indexed path. Distinct-candidate sampling and exhausted budgets
 // fall back to the materialized exact list.
-func (s *TwoChoice) assignIndexed(req Request, reps []int32, d int, loads *ballsbins.Loads, r *rand.Rand) Assignment {
+func (s *TwoChoice) assignIndexed(req Request, reps []int32, d int, loads LoadReader, r *rand.Rand) Assignment {
 	// Dense files (|S_j| ≥ n/8, see cache.denseBitThreshold — the bound
 	// also sizes the bitmap arena) skip the tile walk entirely: a uniform
 	// ball cell accepted on a bitmap hit is uniform over S_j ∩ B_r(u)
@@ -617,7 +616,7 @@ func (s *TwoChoice) assignArith(req Request, server int32, escalated bool) Assig
 // uniform over S_j ∩ B_r(u). Returns ok=false when the try budget is
 // exhausted first (the run union may hold no in-ball replica at all);
 // partial progress is discarded, which leaves the fallback's law intact.
-func (s *TwoChoice) sampleFromRuns(req Request, total, d int, loads *ballsbins.Loads, r *rand.Rand) (int32, bool) {
+func (s *TwoChoice) sampleFromRuns(req Request, total, d int, loads LoadReader, r *rand.Rand) (int32, bool) {
 	// Covered tiles overshoot the ball by less than a tile ring, so the
 	// acceptance rate is Ω(|ball| / |cover|) ≈ 1/2 whenever the
 	// intersection is non-empty; a small per-candidate budget suffices.
@@ -704,7 +703,7 @@ func (s *TwoChoice) bitExactCandidates(origin int, bits []uint64, dst []int32) [
 // law with an O(1) membership probe instead of a cached-list scan.
 // Returns ok=false when the try budget is exhausted (the caller falls
 // back to the exact tile walk; partial progress is discarded).
-func (s *TwoChoice) sampleFromBits(req Request, reps []int32, bits []uint64, d int, loads *ballsbins.Loads, r *rand.Rand) (int32, bool) {
+func (s *TwoChoice) sampleFromBits(req Request, reps []int32, bits []uint64, d int, loads LoadReader, r *rand.Rand) (int32, bool) {
 	budget := 6*d*(s.g.N()/(len(reps)+1)+1) + 8
 	if cap(s.seenBuf) < d {
 		s.seenBuf = make([]int32, 0, d)
@@ -750,7 +749,7 @@ func (s *TwoChoice) sampleFromBits(req Request, reps []int32, bits []uint64, d i
 // pickLeastLoaded returns the least-loaded candidate, breaking ties
 // uniformly (reservoir over minima, as foldCandidate does, but with the
 // incumbent's load cached so each candidate costs one load read).
-func pickLeastLoaded(cand []int32, loads *ballsbins.Loads, r *rand.Rand) int32 {
+func pickLeastLoaded(cand []int32, loads LoadReader, r *rand.Rand) int32 {
 	best := cand[0]
 	bestLoad := loads.Load(int(best))
 	ties := 1
@@ -772,7 +771,7 @@ func pickLeastLoaded(cand []int32, loads *ballsbins.Loads, r *rand.Rand) int32 {
 // sampleByRejection draws the d candidates by rejection from the replica
 // list (accept when within radius). Returns ok=false when the try budget
 // is exhausted before d acceptances.
-func (s *TwoChoice) sampleByRejection(req Request, reps []int32, d int, loads *ballsbins.Loads, r *rand.Rand) (int32, bool) {
+func (s *TwoChoice) sampleByRejection(req Request, reps []int32, d int, loads LoadReader, r *rand.Rand) (int32, bool) {
 	var best int32 = -1
 	ties := 0
 	accepted := 0
@@ -798,7 +797,7 @@ func (s *TwoChoice) sampleByRejection(req Request, reps []int32, d int, loads *b
 // probability |S_j ∩ B_r|/|B_r| instead of |S_j ∩ B_r|/|S_j| — the right
 // side of the intersection when replicas outnumber the ball. Returns
 // ok=false when the try budget is exhausted before d acceptances.
-func (s *TwoChoice) sampleFromBall(req Request, d int, loads *ballsbins.Loads, r *rand.Rand) (int32, bool) {
+func (s *TwoChoice) sampleFromBall(req Request, d int, loads LoadReader, r *rand.Rand) (int32, bool) {
 	// Expected tries per accepted draw is |B_r|/|S_j ∩ B_r| ≈ n/|S_j| ≤
 	// n/|B_r| here; reuse the symmetric budget of the replica-side loop.
 	var best int32 = -1
@@ -823,7 +822,7 @@ func (s *TwoChoice) sampleFromBall(req Request, d int, loads *ballsbins.Loads, r
 
 // pickFromPool samples d candidates uniformly from pool and returns the
 // least-loaded (ties uniform).
-func (s *TwoChoice) pickFromPool(pool []int32, d int, loads *ballsbins.Loads, r *rand.Rand) int32 {
+func (s *TwoChoice) pickFromPool(pool []int32, d int, loads LoadReader, r *rand.Rand) int32 {
 	if len(pool) == 1 {
 		return pool[0]
 	}
@@ -863,7 +862,7 @@ func (s *TwoChoice) pickFromPool(pool []int32, d int, loads *ballsbins.Loads, r 
 
 // foldCandidate updates the running least-loaded winner with uniform tie
 // breaking (reservoir over minima).
-func (s *TwoChoice) foldCandidate(best int32, ties int, v int32, loads *ballsbins.Loads, r *rand.Rand) (int32, int) {
+func (s *TwoChoice) foldCandidate(best int32, ties int, v int32, loads LoadReader, r *rand.Rand) (int32, int) {
 	if best < 0 {
 		return v, 1
 	}
@@ -903,7 +902,7 @@ func (o *LeastLoadedOracle) Name() string {
 func (o *LeastLoadedOracle) Rebind(p *cache.Placement) { o.inner.Rebind(p) }
 
 // Assign implements Strategy.
-func (o *LeastLoadedOracle) Assign(req Request, loads *ballsbins.Loads, r *rand.Rand) Assignment {
+func (o *LeastLoadedOracle) Assign(req Request, loads LoadReader, r *rand.Rand) Assignment {
 	s := o.inner
 	reps := s.p.Replicas(int(req.File))
 	if len(reps) == 0 {

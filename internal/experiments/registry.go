@@ -32,6 +32,7 @@ var registry = map[string]Runner{
 	"drift":            PopularityDrift,
 	"widegrid":         WideGrid,
 	"churn":            Churn,
+	"staleness":        Staleness,
 }
 
 // IDs returns all experiment identifiers, sorted.

@@ -1,0 +1,147 @@
+package sim
+
+import "testing"
+
+// parallelPin is one (config, trial) → Result pair of the intra-trial
+// sharded engine (Config.Workers > 0, ShardDeterministic), captured at
+// introduction time (PR 6) by running the matrix at P=1 — which, by the
+// engine's granule-stream construction, is bit-identical to every other
+// worker count. The sharded discipline is a new seeded process (frozen
+// chunk snapshots, per-granule RNG streams); the sequential engine's
+// 110/50/36-case matrices stay untouched because Workers = 0 bypasses
+// sharding entirely. Any change to the granule size, the stream
+// labeling, the shard ownership rule, the barrier merge order or the
+// frozen-snapshot semantics perturbs these trajectories and must be
+// deliberate and re-pinned.
+type parallelPin struct {
+	name  string
+	trial uint64
+	cfg   Config
+	want  Result
+}
+
+// TestGoldenMatrixParallel replays the sharded-engine matrix (strategy
+// × miss policy × index × churn, plus streaming/links metrics, custom
+// chunk, beta and d-choice variants) against the captured outputs — at
+// the pinned P=4 and again at P ∈ {1, 2, 8}, enforcing both the frozen
+// trajectories and the any-P bit-identity they were captured under.
+func TestGoldenMatrixParallel(t *testing.T) {
+	for _, p := range parallelPins {
+		if p.cfg.Workers != 4 || p.cfg.Shard != ShardDeterministic {
+			t.Fatalf("%s: parallel pins must be captured at Workers=4 deterministic, got %+v", p.name, p.cfg)
+		}
+		for _, workers := range []int{4, 1, 2, 8} {
+			cfg := p.cfg
+			cfg.Workers = workers
+			got, err := RunTrial(cfg, p.trial)
+			if err != nil {
+				t.Fatalf("%s t=%d P=%d: %v", p.name, p.trial, workers, err)
+			}
+			if got != p.want {
+				t.Errorf("%s t=%d P=%d:\n got %+v\nwant %+v", p.name, p.trial, workers, got, p.want)
+			}
+		}
+	}
+}
+
+var parallelPins = []parallelPin{
+	{name: "nearest/resample/none", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 0, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 1, Index: 0, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 78, MeanCost: 3.08935546875, Requests: 4096, Escalated: 0, Backhaul: 0, Uncached: 62}},
+	{name: "nearest/resample/tiles", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 0, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 1, Index: 1, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 78, MeanCost: 3.08935546875, Requests: 4096, Escalated: 0, Backhaul: 0, Uncached: 62}},
+	{name: "nearest/escalate/none", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 0, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 1, Metrics: 0, Streams: 1, Index: 0, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 71, MeanCost: 2.6318359375, Requests: 4096, Escalated: 0, Backhaul: 651, Uncached: 62}},
+	{name: "nearest/escalate/tiles", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 0, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 1, Metrics: 0, Streams: 1, Index: 1, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 71, MeanCost: 2.6318359375, Requests: 4096, Escalated: 0, Backhaul: 651, Uncached: 62}},
+	{name: "nearest/origin/none", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 0, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 2, Metrics: 0, Streams: 1, Index: 0, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 71, MeanCost: 2.6318359375, Requests: 4096, Escalated: 0, Backhaul: 651, Uncached: 62}},
+	{name: "nearest/origin/tiles", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 0, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 2, Metrics: 0, Streams: 1, Index: 1, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 71, MeanCost: 2.6318359375, Requests: 4096, Escalated: 0, Backhaul: 651, Uncached: 62}},
+	{name: "two-choices/resample/none", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 1, Index: 0, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 68, MeanCost: 3.844482421875, Requests: 4096, Escalated: 1438, Backhaul: 0, Uncached: 62}},
+	{name: "two-choices/resample/tiles", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 1, Index: 1, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 69, MeanCost: 3.826904296875, Requests: 4096, Escalated: 1438, Backhaul: 0, Uncached: 62}},
+	{name: "two-choices/escalate/none", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 1, Metrics: 0, Streams: 1, Index: 0, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 65, MeanCost: 3.27490234375, Requests: 4096, Escalated: 1241, Backhaul: 651, Uncached: 62}},
+	{name: "two-choices/escalate/tiles", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 1, Metrics: 0, Streams: 1, Index: 1, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 67, MeanCost: 3.278076171875, Requests: 4096, Escalated: 1241, Backhaul: 651, Uncached: 62}},
+	{name: "two-choices/origin/none", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 2, Metrics: 0, Streams: 1, Index: 0, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 49, MeanCost: 1.227783203125, Requests: 4096, Escalated: 0, Backhaul: 1892, Uncached: 62}},
+	{name: "two-choices/origin/tiles", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 2, Metrics: 0, Streams: 1, Index: 1, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 50, MeanCost: 1.23583984375, Requests: 4096, Escalated: 0, Backhaul: 1892, Uncached: 62}},
+	{name: "one-choice/resample/none", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 2, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 1, Index: 0, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 83, MeanCost: 3.849365234375, Requests: 4096, Escalated: 1438, Backhaul: 0, Uncached: 62}},
+	{name: "one-choice/resample/tiles", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 2, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 1, Index: 1, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 76, MeanCost: 3.827392578125, Requests: 4096, Escalated: 1438, Backhaul: 0, Uncached: 62}},
+	{name: "one-choice/escalate/none", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 2, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 1, Metrics: 0, Streams: 1, Index: 0, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 71, MeanCost: 3.263671875, Requests: 4096, Escalated: 1241, Backhaul: 651, Uncached: 62}},
+	{name: "one-choice/escalate/tiles", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 2, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 1, Metrics: 0, Streams: 1, Index: 1, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 70, MeanCost: 3.26611328125, Requests: 4096, Escalated: 1241, Backhaul: 651, Uncached: 62}},
+	{name: "one-choice/origin/none", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 2, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 2, Metrics: 0, Streams: 1, Index: 0, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 56, MeanCost: 1.225341796875, Requests: 4096, Escalated: 0, Backhaul: 1892, Uncached: 62}},
+	{name: "one-choice/origin/tiles", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 2, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 2, Metrics: 0, Streams: 1, Index: 1, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 69, MeanCost: 1.22509765625, Requests: 4096, Escalated: 0, Backhaul: 1892, Uncached: 62}},
+	{name: "oracle/resample/none", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 3, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 1, Index: 0, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 67, MeanCost: 3.84521484375, Requests: 4096, Escalated: 1438, Backhaul: 0, Uncached: 62}},
+	{name: "oracle/resample/tiles", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 3, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 1, Index: 1, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 66, MeanCost: 3.830810546875, Requests: 4096, Escalated: 1438, Backhaul: 0, Uncached: 62}},
+	{name: "oracle/escalate/none", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 3, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 1, Metrics: 0, Streams: 1, Index: 0, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 58, MeanCost: 3.306640625, Requests: 4096, Escalated: 1241, Backhaul: 651, Uncached: 62}},
+	{name: "oracle/escalate/tiles", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 3, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 1, Metrics: 0, Streams: 1, Index: 1, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 58, MeanCost: 3.311279296875, Requests: 4096, Escalated: 1241, Backhaul: 651, Uncached: 62}},
+	{name: "oracle/origin/none", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 3, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 2, Metrics: 0, Streams: 1, Index: 0, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 58, MeanCost: 3.306640625, Requests: 4096, Escalated: 1241, Backhaul: 651, Uncached: 62}},
+	{name: "oracle/origin/tiles", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 3, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 2, Metrics: 0, Streams: 1, Index: 1, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 58, MeanCost: 3.311279296875, Requests: 4096, Escalated: 1241, Backhaul: 651, Uncached: 62}},
+	{name: "churn-replicas/two-choices/none", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 1, Index: 0, Churn: 1, ChurnRate: 0.5, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 50, MeanCost: 3.999267578125, Requests: 4096, Escalated: 1567, Backhaul: 0, Uncached: 50, ChurnEvents: 1394, ChurnSkipped: 142}},
+	{name: "churn-replicas/two-choices/tiles", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 1, Index: 1, Churn: 1, ChurnRate: 0.5, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 48, MeanCost: 3.970947265625, Requests: 4096, Escalated: 1567, Backhaul: 0, Uncached: 50, ChurnEvents: 1394, ChurnSkipped: 142}},
+	{name: "churn-drift/two-choices/none", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 1, Index: 0, Churn: 2, ChurnRate: 0.5, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 43, MeanCost: 3.96875, Requests: 4096, Escalated: 1555, Backhaul: 0, Uncached: 50, ChurnEvents: 1456, ChurnSkipped: 80}},
+	{name: "churn-drift/two-choices/tiles", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 1, Index: 1, Churn: 2, ChurnRate: 0.5, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 42, MeanCost: 3.983154296875, Requests: 4096, Escalated: 1555, Backhaul: 0, Uncached: 50, ChurnEvents: 1456, ChurnSkipped: 80}},
+	{name: "streaming/two-choices", trial: 2,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 2, Streams: 1, Index: 0, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 78, MeanCost: 3.91845703125, Requests: 4096, Escalated: 1486, Backhaul: 0, Uncached: 58, Streamed: true, HopMax: 12, HopStd: 2.6019042828386927, LoadP99: 53, LinkMaxApprox: 59}},
+	{name: "links/two-choices", trial: 2,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 1, Streams: 1, Index: 0, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 78, MeanCost: 3.91845703125, Requests: 4096, Escalated: 1486, Backhaul: 0, Uncached: 58, MaxLinkLoad: 59, LinkCongestion: 2.117383177570093}},
+	{name: "chunk256/two-choices", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 1, Index: 0, Workers: 4, Shard: 0, Chunk: 256, Seed: 0x71},
+		want: Result{MaxLoad: 68, MeanCost: 3.82861328125, Requests: 4096, Escalated: 1438, Backhaul: 0, Uncached: 62}},
+	{name: "beta0.5/two-choices", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 1, Radius: 3, Choices: 0, WithoutReplacement: false, Beta: 0.5}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 1, Index: 0, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 70, MeanCost: 3.829345703125, Requests: 4096, Escalated: 1438, Backhaul: 0, Uncached: 62}},
+	{name: "d3-wor/two-choices", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 0.9}, Strategy: StrategySpec{Kind: 1, Radius: 4, Choices: 3, WithoutReplacement: true, Beta: 0}, Requests: 4096, MissPolicy: 0, Metrics: 0, Streams: 1, Index: 0, Workers: 4, Shard: 0, Seed: 0x71},
+		want: Result{MaxLoad: 67, MeanCost: 3.969482421875, Requests: 4096, Escalated: 966, Backhaul: 0, Uncached: 62}},
+}

@@ -310,6 +310,58 @@ func ParseChurn(s string) (ChurnMode, error) {
 	return 0, fmt.Errorf("sim: unknown churn mode %q (want none, replicas or drift)", s)
 }
 
+// ShardMode selects the load-visibility discipline of the intra-trial
+// sharded engine (Config.Workers > 0): what a worker's strategy sees in
+// the load vector while other workers are assigning concurrently.
+type ShardMode int
+
+const (
+	// ShardDeterministic freezes the load vector for the duration of each
+	// pipeline chunk: every worker's strategy reads the snapshot taken at
+	// the chunk barrier, assignments are recorded per shard, and the
+	// coordinator applies all load deltas (and the chunk's accounting and
+	// churn) serially in request order at the barrier. Request ids and
+	// strategy draws come from per-granule RNG streams (see shardGranule),
+	// so the result is a pure function of (cfg, trial) — bit-identical
+	// across every worker count P ≥ 1, pinned by the parallel golden
+	// matrix. It is a distinct seeded process from the sequential engine
+	// (frozen-snapshot chunk semantics vs live per-request loads), exactly
+	// as StreamsSplit and IndexTiles are distinct processes from their
+	// predecessors. Default.
+	ShardDeterministic ShardMode = iota
+	// ShardRacy shares one atomic load vector among the workers: adds are
+	// atomic increments, reads are atomic but unsynchronized with other
+	// workers' in-flight assignments — the classic balls-into-bins with
+	// outdated information. Generation stays on the deterministic
+	// per-granule streams, but assignment outcomes depend on scheduling;
+	// results are NOT reproducible. Data-race-free by construction (every
+	// access is atomic; see ballsbins.AtomicLoads).
+	ShardRacy
+)
+
+// String implements fmt.Stringer.
+func (m ShardMode) String() string {
+	switch m {
+	case ShardDeterministic:
+		return "deterministic"
+	case ShardRacy:
+		return "racy"
+	default:
+		return fmt.Sprintf("ShardMode(%d)", int(m))
+	}
+}
+
+// ParseShard converts a CLI name.
+func ParseShard(s string) (ShardMode, error) {
+	switch s {
+	case "deterministic", "":
+		return ShardDeterministic, nil
+	case "racy":
+		return ShardRacy, nil
+	}
+	return 0, fmt.Errorf("sim: unknown shard mode %q (want deterministic or racy)", s)
+}
+
 // Config declares one simulated world. The zero value is not runnable; use
 // the documented fields (Side, K, M are mandatory).
 type Config struct {
@@ -357,6 +409,26 @@ type Config struct {
 	// CollectLinks is the pre-Metrics spelling of MetricsLinks, kept for
 	// compatibility: it upgrades MetricsScalar to MetricsLinks.
 	CollectLinks bool
+	// Workers is the intra-trial shard count P. 0 (default) runs the
+	// sequential engine, bit-identical to every pinned golden. P ≥ 1
+	// engages the sharded engine: each pipeline chunk is partitioned into
+	// fixed 64-request granules owned by P workers, with loads visible
+	// per Shard's discipline and all merging done at the chunk barrier.
+	// Requires Streams == StreamsSplit (the interleaved discipline fuses
+	// generation into the strategy stream and is inherently serial).
+	// Orthogonal to trial-level parallelism (Run's workers): a sharded
+	// trial uses P goroutines by itself.
+	Workers int
+	// Shard selects the sharded engine's load-visibility discipline
+	// (zero value: ShardDeterministic; see ShardMode). Only meaningful
+	// with Workers ≥ 1.
+	Shard ShardMode
+	// Chunk overrides the request-pipeline block size (0 → the engine
+	// default, 1024). Under Workers ≥ 1 a positive Chunk must be a
+	// multiple of the 64-request shard granule so chunk boundaries never
+	// split a granule. Smaller chunks tighten the racy mode's staleness
+	// window and the churn cadence at the cost of more barriers.
+	Chunk int
 	// Seed is the deterministic root seed for this configuration.
 	Seed uint64
 }
@@ -394,6 +466,24 @@ func (c Config) validate() error {
 	}
 	if c.CollectLinks && c.Metrics == MetricsStreaming {
 		return fmt.Errorf("sim: CollectLinks materializes per-link loads; it cannot combine with MetricsStreaming")
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("sim: Workers must be non-negative, got %d", c.Workers)
+	}
+	if c.Shard < ShardDeterministic || c.Shard > ShardRacy {
+		return fmt.Errorf("sim: unknown shard mode %d", int(c.Shard))
+	}
+	if c.Workers == 0 && c.Shard != ShardDeterministic {
+		return fmt.Errorf("sim: shard mode %v needs intra-trial workers (set Config.Workers)", c.Shard)
+	}
+	if c.Workers > 0 && c.Streams != StreamsSplit {
+		return fmt.Errorf("sim: Workers=%d needs Streams=split (the interleaved discipline is inherently serial)", c.Workers)
+	}
+	if c.Chunk < 0 {
+		return fmt.Errorf("sim: Chunk must be non-negative, got %d", c.Chunk)
+	}
+	if c.Workers > 0 && c.Chunk > 0 && c.Chunk%shardGranule != 0 {
+		return fmt.Errorf("sim: Workers=%d needs Chunk to be a multiple of the %d-request shard granule, got %d", c.Workers, shardGranule, c.Chunk)
 	}
 	return nil
 }

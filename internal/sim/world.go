@@ -95,6 +95,9 @@ func Compile(cfg Config) (*World, error) {
 		metrics:   cfg.Metrics,
 		chunk:     defaultChunk,
 	}
+	if cfg.Chunk > 0 {
+		w.chunk = cfg.Chunk
+	}
 	if w.metrics == MetricsScalar && cfg.CollectLinks {
 		w.metrics = MetricsLinks
 	}
@@ -229,6 +232,24 @@ type Runner struct {
 	loadAcc *stats.Accumulator
 	links64 *stats.SpaceSaving // link heavy hitters → Result.LinkMaxApprox
 	linkBuf []uint64           // per-request link ids of the XY route
+
+	// Sharded-engine state (Config.Workers > 0; see shard.go): per-shard
+	// worker scratch, the racy mode's shared atomic load vector, the
+	// per-granule hop accumulators merged at each barrier, the reusable
+	// start-signal channels of the worker barrier protocol, and the
+	// current chunk descriptor the coordinator publishes before each
+	// start signal (the channel send/recv is the happens-before edge).
+	shards       []shardState
+	atomicLoads  *ballsbins.AtomicLoads
+	granAccs     []*stats.Accumulator
+	startCh      []chan struct{}
+	doneWG       sync.WaitGroup
+	shardT       uint64
+	shardBase    int
+	shardC       int
+	shardSampler dist.Popularity
+	shardLoads   core.LoadReader
+	shardRacy    bool
 }
 
 // tileSize picks the index tile side for radius r: the largest divisor
@@ -354,6 +375,9 @@ type acct struct {
 // produce identical results; the reused scratch never leaks state between
 // trials (pinned by the cross-implementation golden tests).
 func (r *Runner) RunTrial(t uint64) Result {
+	if r.w.cfg.Workers > 0 {
+		return r.runTrialSharded(t)
+	}
 	w := r.w
 	placement := r.placer.Place(w.placeProfile, w.cfg.PlacementMode, r.place.stream(w.placeSrc, t))
 	strat := r.strategy(placement)

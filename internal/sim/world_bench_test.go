@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 // paperScaleCfg is the acceptance-benchmark point for the compiled-world
 // layer: n = 4900 servers, K = 10^4 files, Zipf γ = 1.2, two-choices r = 8.
@@ -89,6 +92,23 @@ func BenchmarkWideWorldTrial(b *testing.B) {
 // O(min(|S_j|, |B_r|)) filter.
 func BenchmarkWideWorldTrialNoIndex(b *testing.B) {
 	benchWideWorld(b, wideWorldCfg(IndexNone))
+}
+
+// BenchmarkWideWorldTrialParallel is the PR 6 scaling curve: the
+// wide-world trial through the intra-trial sharded engine
+// (ShardDeterministic) at P ∈ {1, 2, 4, 8} workers. P=1 measures the
+// sharded discipline's sequential cost (granule streams + barrier
+// bookkeeping, no concurrency); higher P divide the assign phase while
+// placement build, delta application and accounting stay with the
+// coordinator — the Amdahl floor of the curve.
+func BenchmarkWideWorldTrialParallel(b *testing.B) {
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			cfg := wideWorldCfg(IndexTiles)
+			cfg.Workers = p
+			benchWideWorld(b, cfg)
+		})
+	}
 }
 
 func benchWideWorld(b *testing.B, cfg Config) {

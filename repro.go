@@ -188,6 +188,12 @@ type (
 	// ChurnMode selects the mid-trial placement-mutation discipline of
 	// the §VI dynamic regime (none, replicas or drift).
 	ChurnMode = sim.ChurnMode
+	// ShardMode selects the intra-trial sharded engine's load-visibility
+	// discipline (deterministic or racy) when Config.Workers > 0.
+	ShardMode = sim.ShardMode
+	// AtomicLoads is the lock-free shared load vector of the racy
+	// sharded mode (atomic adds, unsynchronized stale reads).
+	AtomicLoads = ballsbins.AtomicLoads
 	// SpaceSaving is the heavy-hitter sketch behind the streaming mode's
 	// approximate max-link-load (Result.LinkMaxApprox).
 	SpaceSaving = stats.SpaceSaving
@@ -229,6 +235,17 @@ const (
 	IndexTiles = sim.IndexTiles
 )
 
+// Shard discipline constants for Config.Shard (with Config.Workers > 0).
+const (
+	// ShardDeterministic freezes chunk-barrier load snapshots; results
+	// are bit-identical across every worker count (default,
+	// golden-pinned by the parallel matrix).
+	ShardDeterministic = sim.ShardDeterministic
+	// ShardRacy shares one atomic load vector among workers — stale
+	// unsynchronized reads, scheduling-dependent results.
+	ShardRacy = sim.ShardRacy
+)
+
 // Churn discipline constants for Config.Churn.
 const (
 	// ChurnNone freezes the placement for the whole trial (default,
@@ -259,6 +276,12 @@ func NewDrifter(k int, boost, birthRate, lifespan float64) *Drifter {
 
 // ParseChurn converts a CLI name into a ChurnMode.
 func ParseChurn(s string) (ChurnMode, error) { return sim.ParseChurn(s) }
+
+// ParseShard converts a CLI name into a ShardMode.
+func ParseShard(s string) (ShardMode, error) { return sim.ParseShard(s) }
+
+// NewAtomicLoads returns an all-zero atomic load vector over n bins.
+func NewAtomicLoads(n int) *AtomicLoads { return ballsbins.NewAtomicLoads(n) }
 
 // NewSpaceSaving returns a heavy-hitter sketch monitoring up to k keys.
 func NewSpaceSaving(k int) *SpaceSaving { return stats.NewSpaceSaving(k) }
