@@ -30,6 +30,15 @@
 //	    -metrics streaming -streams split -index tiles -shard-workers 8 -trials 4
 //	cachesim -side 25 -k 2000 -m 4 -strategy two-choices -radius 6 \
 //	    -streams split -shard-workers 8 -shard racy -chunk 256 -trials 20
+//
+// Node fault injection — servers crash (and optionally recover)
+// mid-trial while the strategies mask dead nodes and degrade
+// gracefully (-faults regional kills whole tile-aligned regions;
+// faults require -miss escalate or -miss origin):
+//
+//	cachesim -side 25 -k 2000 -m 4 -strategy two-choices -radius 6 \
+//	    -requests 8192 -miss escalate -faults crash -fault-rate 0.05 \
+//	    -recover-rate 0.02 -trials 20
 package main
 
 import (
@@ -58,6 +67,9 @@ func main() {
 		index    = flag.String("index", "none", "candidate enumeration for bounded radii: none or tiles (spatial replica index)")
 		churn    = flag.String("churn", "none", "mid-trial re-placement: none, replicas (uniform migration) or drift (popularity-coupled)")
 		churnRt  = flag.Float64("churn-rate", 0, "expected replica migrations per request (required with -churn)")
+		faults   = flag.String("faults", "none", "node fault injection: none, crash (uniform) or regional (tile-aligned failure domains)")
+		faultRt  = flag.Float64("fault-rate", 0, "expected crash events per request (required with -faults; needs -miss escalate or origin)")
+		recovRt  = flag.Float64("recover-rate", 0, "expected recovery events per request (0 = permanent crashes)")
 		shardW   = flag.Int("shard-workers", 0, "intra-trial shard workers P (0 = sequential engine; needs -streams split)")
 		shard    = flag.String("shard", "deterministic", "sharded load visibility: deterministic (bit-identical across P) or racy (shared atomic loads)")
 		chunk    = flag.Int("chunk", 0, "request-pipeline chunk size (0 = engine default; multiple of 64 under -shard-workers)")
@@ -67,7 +79,7 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg, err := buildConfig(*side, *topo, *k, *m, *gamma, *strategy, *radius, *choices, *requests, *miss, *metrics, *streams, *index, *churn, *churnRt, *shardW, *shard, *chunk, *seed)
+	cfg, err := buildConfig(*side, *topo, *k, *m, *gamma, *strategy, *radius, *choices, *requests, *miss, *metrics, *streams, *index, *churn, *churnRt, *faults, *faultRt, *recovRt, *shardW, *shard, *chunk, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cachesim:", err)
 		os.Exit(2)
@@ -87,6 +99,13 @@ func main() {
 		fmt.Printf("churn:     %s events/trial (skipped %s)\n",
 			agg.ChurnEvents.String(), agg.ChurnSkipped.String())
 	}
+	if cfg.Faults != repro.FaultsNone {
+		fmt.Printf("faults:    %s crashes/trial, %s recoveries (skipped %s); dead at end %s\n",
+			agg.FaultEvents.String(), agg.RecoverEvents.String(),
+			agg.FaultSkipped.String(), agg.DeadNodes.String())
+		fmt.Printf("avail:     %s of requests served in-network; retried %s; stranded load %s\n",
+			agg.Availability.String(), agg.Retried.String(), agg.DeadLoad.String())
+	}
 	switch cfg.Metrics {
 	case repro.MetricsLinks:
 		fmt.Printf("link load:  max %s, congestion %s\n",
@@ -103,7 +122,8 @@ func main() {
 // buildConfig translates CLI flags into a sim configuration.
 func buildConfig(side int, topo string, k, m int, gamma float64, strategy string,
 	radius, choices, requests int, miss, metrics, streams, index, churn string,
-	churnRate float64, shardWorkers int, shard string, chunk int, seed uint64) (repro.Config, error) {
+	churnRate float64, faults string, faultRate, recoverRate float64,
+	shardWorkers int, shard string, chunk int, seed uint64) (repro.Config, error) {
 	var cfg repro.Config
 	tp, err := grid.ParseTopology(topo)
 	if err != nil {
@@ -125,14 +145,23 @@ func buildConfig(side int, topo string, k, m int, gamma float64, strategy string
 	if err != nil {
 		return cfg, err
 	}
+	fm, err := repro.ParseFaults(faults)
+	if err != nil {
+		return cfg, err
+	}
 	sh, err := repro.ParseShard(shard)
+	if err != nil {
+		return cfg, err
+	}
+	mp, err := repro.ParseMiss(miss)
 	if err != nil {
 		return cfg, err
 	}
 	cfg = repro.Config{
 		Side: side, Topology: tp, K: k, M: m,
-		Requests: requests, Metrics: mm, Streams: sd, Index: ix,
+		Requests: requests, MissPolicy: mp, Metrics: mm, Streams: sd, Index: ix,
 		Churn: ch, ChurnRate: churnRate,
+		Faults: fm, FaultRate: faultRate, RecoverRate: recoverRate,
 		Workers: shardWorkers, Shard: sh, Chunk: chunk, Seed: seed,
 	}
 	if gamma > 0 {
@@ -149,16 +178,6 @@ func buildConfig(side int, topo string, k, m int, gamma float64, strategy string
 		cfg.Strategy = repro.StrategySpec{Kind: repro.Oracle, Radius: radius}
 	default:
 		return cfg, fmt.Errorf("unknown strategy %q", strategy)
-	}
-	switch miss {
-	case "resample":
-		cfg.MissPolicy = repro.MissResample
-	case "escalate":
-		cfg.MissPolicy = repro.MissEscalate
-	case "origin":
-		cfg.MissPolicy = repro.MissOrigin
-	default:
-		return cfg, fmt.Errorf("unknown miss policy %q", miss)
 	}
 	return cfg, nil
 }

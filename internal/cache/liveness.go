@@ -1,0 +1,151 @@
+package cache
+
+import "repro/internal/grid"
+
+// Liveness tracks which nodes of a fixed-geometry world are alive. The
+// fault engine mutates it at chunk barriers (crash and recovery events);
+// the strategies consult it on every candidate so dead servers never
+// serve requests while the placement itself stays untouched — liveness
+// masks serving, it does not move replicas.
+//
+// Three views of the same state are kept in lockstep so every consumer
+// gets its natural O(1) operation:
+//
+//   - a bitmap (words): Live(u) is one load and one mask — the per
+//     candidate check on the strategies' hot paths;
+//   - a permutation (perm/pos): perm[0:live] holds the live nodes and
+//     perm[live:] the dead ones, with pos as its inverse, so Kill and
+//     Revive are O(1) boundary swaps and the fault scheduler draws a
+//     uniform live (or dead) node with a single bounded random index —
+//     no rejection loop that degenerates as the world empties;
+//   - optional per-tile live counts (tileLive, via BindTiling): the
+//     spatial replica index skips whole tiles whose live count is zero
+//     before touching their replica runs.
+//
+// Not safe for concurrent mutation; the engine mutates it only at chunk
+// barriers, between which workers read it concurrently.
+type Liveness struct {
+	n     int
+	words []uint64
+	perm  []int32
+	pos   []int32
+	live  int
+
+	tl       *grid.Tiling
+	tileLive []int32
+}
+
+// NewLiveness returns a tracker over n nodes, all live.
+func NewLiveness(n int) *Liveness {
+	lv := &Liveness{
+		n:     n,
+		words: make([]uint64, (n+63)/64),
+		perm:  make([]int32, n),
+		pos:   make([]int32, n),
+	}
+	lv.Reset()
+	return lv
+}
+
+// BindTiling attaches per-tile live counts over tl (nil detaches). The
+// counts are maintained incrementally by Kill/Revive; TileLive reads them.
+func (lv *Liveness) BindTiling(tl *grid.Tiling) {
+	lv.tl = tl
+	if tl == nil {
+		lv.tileLive = nil
+		return
+	}
+	if cap(lv.tileLive) < tl.Tiles() {
+		lv.tileLive = make([]int32, tl.Tiles())
+	}
+	lv.tileLive = lv.tileLive[:tl.Tiles()]
+	for i := range lv.tileLive {
+		lv.tileLive[i] = 0
+	}
+	for u := int32(0); u < int32(lv.n); u++ {
+		if lv.Live(int(u)) {
+			lv.tileLive[tl.TileOf(u)]++
+		}
+	}
+}
+
+// Reset revives every node (the per-trial initial state).
+func (lv *Liveness) Reset() {
+	for i := range lv.words {
+		lv.words[i] = ^uint64(0)
+	}
+	if tail := lv.n % 64; tail != 0 {
+		lv.words[len(lv.words)-1] = (uint64(1) << tail) - 1
+	}
+	for i := range lv.perm {
+		lv.perm[i] = int32(i)
+		lv.pos[i] = int32(i)
+	}
+	lv.live = lv.n
+	if lv.tl != nil {
+		lv.BindTiling(lv.tl)
+	}
+}
+
+// Live reports whether node u is alive.
+func (lv *Liveness) Live(u int) bool {
+	return lv.words[uint(u)>>6]&(1<<(uint(u)&63)) != 0
+}
+
+// LiveCount returns the number of live nodes.
+func (lv *Liveness) LiveCount() int { return lv.live }
+
+// DeadCount returns the number of dead nodes.
+func (lv *Liveness) DeadCount() int { return lv.n - lv.live }
+
+// LiveAt returns the i-th live node, 0 ≤ i < LiveCount(). The mapping is
+// a bijection onto the live set, so a uniform i draws a uniform live node.
+func (lv *Liveness) LiveAt(i int) int32 { return lv.perm[i] }
+
+// DeadAt returns the i-th dead node, 0 ≤ i < DeadCount().
+func (lv *Liveness) DeadAt(i int) int32 { return lv.perm[lv.live+i] }
+
+// Kill marks node u dead. It reports false (and does nothing) when u is
+// already dead.
+func (lv *Liveness) Kill(u int32) bool {
+	if !lv.Live(int(u)) {
+		return false
+	}
+	lv.words[uint(u)>>6] &^= 1 << (uint(u) & 63)
+	lv.live--
+	lv.swap(u, int32(lv.live))
+	if lv.tileLive != nil {
+		lv.tileLive[lv.tl.TileOf(u)]--
+	}
+	return true
+}
+
+// Revive marks node u live again. It reports false (and does nothing)
+// when u is already live.
+func (lv *Liveness) Revive(u int32) bool {
+	if lv.Live(int(u)) {
+		return false
+	}
+	lv.words[uint(u)>>6] |= 1 << (uint(u) & 63)
+	lv.swap(u, int32(lv.live))
+	lv.live++
+	if lv.tileLive != nil {
+		lv.tileLive[lv.tl.TileOf(u)]++
+	}
+	return true
+}
+
+// swap moves node u to permutation slot j (the live/dead boundary).
+func (lv *Liveness) swap(u, j int32) {
+	i := lv.pos[u]
+	v := lv.perm[j]
+	lv.perm[i], lv.perm[j] = v, u
+	lv.pos[v], lv.pos[u] = i, j
+}
+
+// TileLive returns the live-node count of tile tid. Valid only after
+// BindTiling.
+func (lv *Liveness) TileLive(tid int32) int32 { return lv.tileLive[tid] }
+
+// Tiling returns the tiling bound by BindTiling, or nil.
+func (lv *Liveness) Tiling() *grid.Tiling { return lv.tl }

@@ -1,0 +1,143 @@
+package cache
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// livenessInvariants cross-checks the three views of one Liveness: the
+// bitmap, the perm/pos permutation, and (when bound) the per-tile live
+// counts, against each other and against a brute-force recount.
+func livenessInvariants(t *testing.T, lv *Liveness) {
+	t.Helper()
+	n := lv.n
+	// perm must be a permutation of [0, n) and pos its inverse.
+	seen := make([]bool, n)
+	for i, u := range lv.perm {
+		if u < 0 || int(u) >= n || seen[u] {
+			t.Fatalf("perm[%d] = %d is not a permutation entry", i, u)
+		}
+		seen[u] = true
+		if lv.pos[u] != int32(i) {
+			t.Fatalf("pos[%d] = %d, want %d", u, lv.pos[u], i)
+		}
+	}
+	// perm[0:live] must be exactly the bitmap's live set.
+	live := 0
+	for u := 0; u < n; u++ {
+		if lv.Live(u) {
+			live++
+			if lv.pos[u] >= int32(lv.live) {
+				t.Fatalf("live node %d sits in the dead segment (pos %d, boundary %d)", u, lv.pos[u], lv.live)
+			}
+		} else if lv.pos[u] < int32(lv.live) {
+			t.Fatalf("dead node %d sits in the live segment (pos %d, boundary %d)", u, lv.pos[u], lv.live)
+		}
+	}
+	if live != lv.LiveCount() || n-live != lv.DeadCount() {
+		t.Fatalf("counts: bitmap %d live, tracker %d live / %d dead", live, lv.LiveCount(), lv.DeadCount())
+	}
+	// Tile counts must match a brute-force recount.
+	if tl := lv.Tiling(); tl != nil {
+		want := make([]int32, tl.Tiles())
+		for u := 0; u < n; u++ {
+			if lv.Live(u) {
+				want[tl.TileOf(int32(u))]++
+			}
+		}
+		for tid := range want {
+			if got := lv.TileLive(int32(tid)); got != want[tid] {
+				t.Fatalf("tile %d live count %d, want %d", tid, got, want[tid])
+			}
+		}
+	}
+}
+
+// TestLivenessStorm hammers Kill/Revive with a random storm and checks
+// every invariant after each phase, with and without a bound tiling.
+func TestLivenessStorm(t *testing.T) {
+	const side = 9
+	n := side * side
+	g := grid.New(side, grid.Torus)
+	for _, tile := range []int{0, 3} {
+		lv := NewLiveness(n)
+		if tile > 0 {
+			lv.BindTiling(g.NewTiling(tile))
+		}
+		livenessInvariants(t, lv)
+		r := rand.New(rand.NewPCG(11, uint64(tile)))
+		for step := 0; step < 2000; step++ {
+			u := int32(r.IntN(n))
+			wasLive := lv.Live(int(u))
+			if r.IntN(2) == 0 {
+				if lv.Kill(u) != wasLive {
+					t.Fatalf("Kill(%d) reported %v, node was live=%v", u, !wasLive, wasLive)
+				}
+			} else {
+				if lv.Revive(u) != !wasLive {
+					t.Fatalf("Revive(%d) reported %v, node was live=%v", u, wasLive, wasLive)
+				}
+			}
+			if step%97 == 0 {
+				livenessInvariants(t, lv)
+			}
+		}
+		livenessInvariants(t, lv)
+		// Reset restores the all-live state.
+		lv.Reset()
+		if lv.LiveCount() != n || lv.DeadCount() != 0 {
+			t.Fatalf("after Reset: %d live / %d dead", lv.LiveCount(), lv.DeadCount())
+		}
+		livenessInvariants(t, lv)
+	}
+}
+
+// TestLivenessDraws: LiveAt/DeadAt enumerate exactly the live and dead
+// sets, so uniform indices give uniform nodes with no rejection loop.
+func TestLivenessDraws(t *testing.T) {
+	const n = 50
+	lv := NewLiveness(n)
+	killed := map[int32]bool{3: true, 17: true, 44: true, 0: true}
+	for u := range killed {
+		lv.Kill(u)
+	}
+	if lv.DeadCount() != len(killed) {
+		t.Fatalf("dead count %d, want %d", lv.DeadCount(), len(killed))
+	}
+	gotDead := map[int32]bool{}
+	for i := 0; i < lv.DeadCount(); i++ {
+		gotDead[lv.DeadAt(i)] = true
+	}
+	for u := range killed {
+		if !gotDead[u] {
+			t.Fatalf("killed node %d missing from DeadAt enumeration %v", u, gotDead)
+		}
+	}
+	for i := 0; i < lv.LiveCount(); i++ {
+		if killed[lv.LiveAt(i)] {
+			t.Fatalf("dead node %d surfaced by LiveAt(%d)", lv.LiveAt(i), i)
+		}
+	}
+	// Double Kill / double Revive are refused.
+	if lv.Kill(3) {
+		t.Error("double Kill accepted")
+	}
+	lv.Revive(3)
+	if lv.Revive(3) {
+		t.Error("double Revive accepted")
+	}
+}
+
+// TestLivenessBindTilingLate: binding a tiling after kills must recount
+// from the current bitmap, not assume all-live.
+func TestLivenessBindTilingLate(t *testing.T) {
+	const side = 6
+	g := grid.New(side, grid.Torus)
+	lv := NewLiveness(side * side)
+	lv.Kill(0)
+	lv.Kill(7)
+	lv.BindTiling(g.NewTiling(3))
+	livenessInvariants(t, lv)
+}

@@ -42,6 +42,7 @@ type Assignment struct {
 	Hops      int32 // torus hop distance origin -> server
 	Escalated bool  // radius held no replica; search widened to r = ∞
 	Backhaul  bool  // file cached nowhere; served at origin from upstream
+	Retried   bool  // a dead candidate was rejected and the search resampled
 }
 
 // LoadReader is the strategies' read-only view of the running load
@@ -78,6 +79,23 @@ func assignmentTo(g *grid.Grid, req Request, server int32, escalated bool) Assig
 		Hops:      int32(g.Dist(int(req.Origin), int(server))),
 		Escalated: escalated,
 	}
+}
+
+// LivenessAware is implemented by strategies that can mask dead nodes.
+// With a non-nil Liveness bound, every candidate path rejects dead
+// servers and walks the graceful-degradation ladder instead: bounded
+// resampling among live replicas, then escalation to r = ∞ over the
+// live replica set, then backhaul at the origin. Binding nil restores
+// the exact liveness-blind behaviour (bit-identical to a strategy that
+// was never bound — the golden matrices pin this).
+//
+// Like churn, liveness is mutated only between Assign calls (at the
+// engine's chunk barriers), so every candidate enumeration observes a
+// consistent view.
+type LivenessAware interface {
+	Strategy
+	// SetLiveness binds (or, with nil, unbinds) the liveness mask.
+	SetLiveness(lv *cache.Liveness)
 }
 
 // Rebindable is implemented by strategies whose placement can be swapped

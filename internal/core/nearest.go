@@ -28,6 +28,8 @@ type NearestReplica struct {
 	ringBuf  []int32
 	tieBuf   []int32
 	searchFn SearchMode
+	live     *cache.Liveness // nil = liveness-blind (golden-pinned paths)
+	retried  bool            // per-Assign: a dead candidate was rejected
 }
 
 // SearchMode forces a specific nearest-replica search procedure; the zero
@@ -81,8 +83,14 @@ func (s *NearestReplica) Rebind(p *cache.Placement) { s.common.rebind(p) }
 // Name implements Strategy.
 func (s *NearestReplica) Name() string { return "nearest-replica" }
 
+// SetLiveness implements LivenessAware: with a mask bound, both search
+// procedures skip dead replicas (nearest LIVE replica); a file whose
+// replicas are all dead is served by backhaul at the origin.
+func (s *NearestReplica) SetLiveness(lv *cache.Liveness) { s.live = lv }
+
 // Assign implements Strategy.
 func (s *NearestReplica) Assign(req Request, _ LoadReader, r *rand.Rand) Assignment {
+	s.retried = false
 	reps := s.p.Replicas(int(req.File))
 	if len(reps) == 0 {
 		return backhaul(req)
@@ -95,7 +103,15 @@ func (s *NearestReplica) Assign(req Request, _ LoadReader, r *rand.Rand) Assignm
 	default:
 		server = s.scanSearch(req, reps, r)
 	}
-	return assignmentTo(s.g, req, server, false)
+	if server < 0 {
+		// Every replica is dead: the cache network cannot serve the file.
+		a := backhaul(req)
+		a.Retried = s.retried
+		return a
+	}
+	a := assignmentTo(s.g, req, server, false)
+	a.Retried = s.retried
+	return a
 }
 
 // ringSearch expands rings until one contains a replica, then picks
@@ -110,6 +126,10 @@ func (s *NearestReplica) ringSearch(req Request, r *rand.Rand) int32 {
 		s.tieBuf = s.tieBuf[:0]
 		for _, v := range s.ringBuf {
 			if s.p.Has(int(v), int(req.File)) {
+				if s.live != nil && !s.live.Live(int(v)) {
+					s.retried = true
+					continue
+				}
 				s.tieBuf = append(s.tieBuf, v)
 			}
 		}
@@ -117,17 +137,25 @@ func (s *NearestReplica) ringSearch(req Request, r *rand.Rand) int32 {
 			return s.tieBuf[r.IntN(len(s.tieBuf))]
 		}
 	}
+	if s.live != nil {
+		return -1 // every replica of the file is dead
+	}
 	// Unreachable when the replica list is non-empty.
 	panic("core: ring search exhausted the torus with a non-empty replica set")
 }
 
 // scanSearch walks the replica list, tracking the minimum distance and
-// reservoir-sampling uniformly among ties without allocating.
+// reservoir-sampling uniformly among ties without allocating. Dead
+// replicas are skipped under a liveness mask; -1 means none was live.
+// The first survivor enters as sole tie without an RNG draw, so the
+// draw sequence is unchanged from the historical reps[0]-seeded loop.
 func (s *NearestReplica) scanSearch(req Request, reps []int32, r *rand.Rand) int32 {
-	best := reps[0]
-	bestD := s.g.Dist(int(req.Origin), int(best))
-	ties := 1
-	for _, v := range reps[1:] {
+	best, bestD, ties := int32(-1), math.MaxInt, 0
+	for _, v := range reps {
+		if s.live != nil && !s.live.Live(int(v)) {
+			s.retried = true
+			continue
+		}
 		d := s.g.Dist(int(req.Origin), int(v))
 		switch {
 		case d < bestD:
@@ -143,6 +171,7 @@ func (s *NearestReplica) scanSearch(req Request, reps []int32, r *rand.Rand) int
 }
 
 var _ Strategy = (*NearestReplica)(nil)
+var _ LivenessAware = (*NearestReplica)(nil)
 
 // NearestDistance returns the hop distance from u to the closest replica
 // of file j, or -1 if the file is cached nowhere. Exposed for the Voronoi

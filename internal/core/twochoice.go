@@ -57,6 +57,12 @@ type TwoChoice struct {
 	runs        []tileRun // per covered tile holding replicas of the file
 	gl          int       // grid side, for table-free distance arithmetic
 	torus       bool
+
+	// Fault-injection path (bound when the engine runs with Faults on).
+	live      *cache.Liveness // nil = liveness-blind (golden-pinned paths)
+	liveTiles bool            // live counts share boundTiling: tile skip valid
+	liveBuf   []int32         // live-filtered pool scratch (degradation ladder)
+	retried   bool            // per-Assign: a dead candidate was rejected
 }
 
 // tileRun is one covered tile's replica slice: nodes()[start:start+n],
@@ -110,6 +116,7 @@ func (s *TwoChoice) bindIndex() {
 	tix := s.p.TileIndex()
 	if tix == nil {
 		s.tix, s.cover, s.boundTiling = nil, nil, nil
+		s.bindLiveTiles()
 		return
 	}
 	// Compare against the tiling the cover was actually built for — a
@@ -142,6 +149,26 @@ func (s *TwoChoice) bindIndex() {
 		}
 	}
 	s.tix = tix
+	s.bindLiveTiles()
+}
+
+// bindLiveTiles decides whether the per-tile live counts can gate the
+// tile walk: only when the liveness mask counts over the very tiling the
+// index buckets by (the engine binds both to the world's tiling; any
+// mismatch just disables the skip, never corrupts it).
+func (s *TwoChoice) bindLiveTiles() {
+	s.liveTiles = s.live != nil && s.boundTiling != nil && s.live.Tiling() == s.boundTiling
+}
+
+// SetLiveness implements LivenessAware. Binding a mask routes every
+// candidate path through the graceful-degradation ladder; binding nil
+// restores the exact liveness-blind draw sequences.
+func (s *TwoChoice) SetLiveness(lv *cache.Liveness) {
+	s.live = lv
+	if lv != nil && cap(s.liveBuf) < s.g.N() {
+		s.liveBuf = make([]int32, 0, s.g.N())
+	}
+	s.bindLiveTiles()
 }
 
 // Rebind implements Rebindable: swap the placement, keep scratch.
@@ -173,6 +200,15 @@ func (s *TwoChoice) Radius() int { return s.cfg.Radius }
 
 // Assign implements Strategy.
 func (s *TwoChoice) Assign(req Request, loads LoadReader, r *rand.Rand) Assignment {
+	s.retried = false
+	a := s.assign(req, loads, r)
+	a.Retried = s.retried
+	return a
+}
+
+// assign is the dispatch body behind Assign; the wrapper exists only to
+// reset and stamp the per-request retried flag across its many returns.
+func (s *TwoChoice) assign(req Request, loads LoadReader, r *rand.Rand) Assignment {
 	reps := s.p.Replicas(int(req.File))
 	if len(reps) == 0 {
 		return backhaul(req)
@@ -182,7 +218,10 @@ func (s *TwoChoice) Assign(req Request, loads LoadReader, r *rand.Rand) Assignme
 		d = 1 // the (1+β) process degrades to one choice this round
 	}
 	if s.cfg.Radius == RadiusUnbounded {
-		return assignmentTo(s.g, req, s.pickFromPool(reps, d, loads, r), false)
+		if srv, ok := s.pickLivePool(reps, d, loads, r); ok {
+			return assignmentTo(s.g, req, srv, false)
+		}
+		return backhaul(req) // every replica of the file is dead
 	}
 	if s.tix != nil {
 		return s.assignIndexed(req, reps, d, loads, r)
@@ -215,7 +254,10 @@ func (s *TwoChoice) Assign(req Request, loads LoadReader, r *rand.Rand) Assignme
 		}
 		pool, escalated = reps, true
 	}
-	return assignmentTo(s.g, req, s.pickFromPool(pool, d, loads, r), escalated)
+	if srv, ok := s.pickLivePool(pool, d, loads, r); ok {
+		return assignmentTo(s.g, req, srv, escalated)
+	}
+	return backhaul(req) // escalated pool held no live replica either
 }
 
 // exactCandidates filters the replicas of req.File to those within the
@@ -225,6 +267,10 @@ func (s *TwoChoice) exactCandidates(req Request, reps []int32, dst []int32) []in
 	if len(reps) <= s.ballN {
 		for _, v := range reps {
 			if s.g.Dist(int(req.Origin), int(v)) <= s.cfg.Radius {
+				if s.live != nil && !s.live.Live(int(v)) {
+					s.retried = true
+					continue
+				}
 				dst = append(dst, v)
 			}
 		}
@@ -237,6 +283,10 @@ func (s *TwoChoice) exactCandidates(req Request, reps []int32, dst []int32) []in
 	}
 	for _, v := range s.ballBuf {
 		if s.p.Has(int(v), int(req.File)) {
+			if s.live != nil && !s.live.Live(int(v)) {
+				s.retried = true
+				continue
+			}
 			dst = append(dst, v)
 		}
 	}
@@ -285,7 +335,7 @@ func (s *TwoChoice) collectRuns(origin, file int32) int {
 					if !overlap {
 						continue
 					}
-					total += s.pushRun(starts, pos, segEnd, full)
+					total += s.pushRun(starts, pos, segEnd, full, tiles[pos])
 				}
 				return total
 			}
@@ -307,7 +357,7 @@ func (s *TwoChoice) collectRuns(origin, file int32) int {
 			if pos < 0 || pos >= n {
 				continue
 			}
-			total += s.pushRun(starts, pos, segEnd, s.coverBuf.Full[i])
+			total += s.pushRun(starts, pos, segEnd, s.coverBuf.Full[i], tid)
 		}
 	case n*16 <= tl.Tiles() && ascendingIDs(ids):
 		// Sparse directory, unwrapped cover: one bracketed walk. (A
@@ -320,7 +370,7 @@ func (s *TwoChoice) collectRuns(origin, file int32) int {
 			if !overlap {
 				continue
 			}
-			total += s.pushRun(starts, pos, segEnd, full)
+			total += s.pushRun(starts, pos, segEnd, full, tiles[pos])
 		}
 	default:
 		// Merge join: cover tiles are emitted in ascending-id segments
@@ -338,7 +388,7 @@ func (s *TwoChoice) collectRuns(origin, file int32) int {
 			if pos >= n || tiles[pos] != tid {
 				continue
 			}
-			total += s.pushRun(starts, pos, segEnd, s.coverBuf.Full[i])
+			total += s.pushRun(starts, pos, segEnd, s.coverBuf.Full[i], tid)
 		}
 	}
 	return total
@@ -346,8 +396,15 @@ func (s *TwoChoice) collectRuns(origin, file int32) int {
 
 // pushRun appends directory entry pos as a tileRun and returns its
 // replica count. The run ends at the next entry's start (usually the
-// same cache line) or the segment end.
-func (s *TwoChoice) pushRun(starts []int32, pos int, segEnd int32, full bool) int {
+// same cache line) or the segment end. Tiles with zero live nodes are
+// skipped outright when the liveness counts share the index's tiling —
+// their replicas cannot serve, so dropping the run keeps the sampler
+// weights proportional to potentially-live candidates and lets a
+// region-wide failure erase whole tiles in O(1).
+func (s *TwoChoice) pushRun(starts []int32, pos int, segEnd int32, full bool, tid int32) int {
+	if s.liveTiles && s.live.TileLive(tid) == 0 {
+		return 0
+	}
 	start := starts[pos]
 	end := segEnd
 	if pos+1 < len(starts) {
@@ -412,7 +469,7 @@ func (s *TwoChoice) collectRunsRows(origin int32, tiles, starts []int32, segEnd 
 					} else if d < int(row.C0) {
 						d += per
 					}
-					total += s.pushRun(starts, p, segEnd, d >= int(row.F0) && d <= int(row.F1))
+					total += s.pushRun(starts, p, segEnd, d >= int(row.F0) && d <= int(row.F1), int32(base+p))
 				}
 				continue
 			}
@@ -428,7 +485,7 @@ func (s *TwoChoice) collectRunsRows(origin int32, tiles, starts []int32, segEnd 
 				} else if d < int(row.C0) {
 					d += per
 				}
-				total += s.pushRun(starts, pos, segEnd, d >= int(row.F0) && d <= int(row.F1))
+				total += s.pushRun(starts, pos, segEnd, d >= int(row.F0) && d <= int(row.F1), tiles[pos])
 			}
 		}
 	}
@@ -495,11 +552,25 @@ func (s *TwoChoice) indexExactCandidates(origin int32, dst []int32) []int32 {
 	for _, run := range s.runs {
 		span := nodes[run.start : run.start+run.n]
 		if run.full {
-			dst = append(dst, span...)
+			if s.live == nil {
+				dst = append(dst, span...)
+				continue
+			}
+			for _, v := range span {
+				if !s.live.Live(int(v)) {
+					s.retried = true
+					continue
+				}
+				dst = append(dst, v)
+			}
 			continue
 		}
 		for _, v := range span {
 			if s.distFrom(ox, oy, v) <= s.cfg.Radius {
+				if s.live != nil && !s.live.Live(int(v)) {
+					s.retried = true
+					continue
+				}
 				dst = append(dst, v)
 			}
 		}
@@ -562,15 +633,22 @@ func (s *TwoChoice) assignIndexed(req Request, reps []int32, d int, loads LoadRe
 			}
 			pool, escalated = reps, true
 		}
-		return s.assignArith(req, s.pickFromPool(pool, d, loads, r), escalated)
+		if srv, ok := s.pickLivePool(pool, d, loads, r); ok {
+			return s.assignArith(req, srv, escalated)
+		}
+		return backhaul(req) // escalated pool held no live replica either
 	}
 	total := s.collectRuns(req.Origin, req.File)
 	if total == 0 {
-		// No replica in any covered tile ⇒ S_j ∩ B_r(u) = ∅ exactly.
+		// No replica in any covered tile (under a liveness mask: none in
+		// any covered tile with a live node) ⇒ live S_j ∩ B_r(u) = ∅.
 		if s.cfg.NoEscalate {
 			return backhaul(req)
 		}
-		return s.assignArith(req, s.pickFromPool(reps, d, loads, r), true)
+		if srv, ok := s.pickLivePool(reps, d, loads, r); ok {
+			return s.assignArith(req, srv, true)
+		}
+		return backhaul(req) // every replica of the file is dead
 	}
 	if !s.cfg.WithoutReplacement && total > 3*d {
 		if srv, ok := s.sampleFromRuns(req, total, d, loads, r); ok {
@@ -592,7 +670,10 @@ func (s *TwoChoice) assignIndexed(req Request, reps []int32, d int, loads LoadRe
 		}
 		pool, escalated = reps, true
 	}
-	return s.assignArith(req, s.pickFromPool(pool, d, loads, r), escalated)
+	if srv, ok := s.pickLivePool(pool, d, loads, r); ok {
+		return s.assignArith(req, srv, escalated)
+	}
+	return backhaul(req) // escalated pool held no live replica either
 }
 
 // assignArith is assignmentTo with the hop count computed arithmetically
@@ -671,6 +752,10 @@ func (s *TwoChoice) sampleFromRuns(req Request, total, d int, loads LoadReader, 
 			if off[k] < 0 && s.distFrom(ox, oy, vs[k]) > s.cfg.Radius {
 				continue
 			}
+			if s.live != nil && !s.live.Live(int(vs[k])) {
+				s.retried = true
+				continue
+			}
 			if len(cand) < d {
 				cand = append(cand, vs[k])
 			}
@@ -691,6 +776,10 @@ func (s *TwoChoice) bitExactCandidates(origin int, bits []uint64, dst []int32) [
 	}
 	for _, v := range s.ballBuf {
 		if bits[v>>6]&(1<<(uint(v)&63)) != 0 {
+			if s.live != nil && !s.live.Live(int(v)) {
+				s.retried = true
+				continue
+			}
 			dst = append(dst, v)
 		}
 	}
@@ -735,6 +824,10 @@ func (s *TwoChoice) sampleFromBits(req Request, reps []int32, bits []uint64, d i
 		for k := 0; k < batch; k++ {
 			tries++
 			if ws[k]&(1<<(uint(vs[k])&63)) == 0 {
+				continue
+			}
+			if s.live != nil && !s.live.Live(int(vs[k])) {
+				s.retried = true
 				continue
 			}
 			if len(cand) < d {
@@ -785,6 +878,10 @@ func (s *TwoChoice) sampleByRejection(req Request, reps []int32, d int, loads Lo
 		if s.g.Dist(int(req.Origin), int(v)) > s.cfg.Radius {
 			continue
 		}
+		if s.live != nil && !s.live.Live(int(v)) {
+			s.retried = true
+			continue
+		}
 		accepted++
 		best, ties = s.foldCandidate(best, ties, v, loads, r)
 	}
@@ -812,6 +909,10 @@ func (s *TwoChoice) sampleFromBall(req Request, d int, loads LoadReader, r *rand
 		tries++
 		v := s.ball.Node(int(req.Origin), r.IntN(s.ballN))
 		if !s.p.Has(int(v), file) {
+			continue
+		}
+		if s.live != nil && !s.live.Live(int(v)) {
+			s.retried = true
 			continue
 		}
 		accepted++
@@ -860,6 +961,53 @@ func (s *TwoChoice) pickFromPool(pool []int32, d int, loads LoadReader, r *rand.
 	return best
 }
 
+// pickLivePool is pickFromPool behind the liveness mask — the pool pick
+// of the graceful-degradation ladder. Without a mask it delegates
+// unchanged (zero extra draws: the golden matrices pin this). With one,
+// a bounded rejection loop resamples dead picks among the pool's live
+// members; exhaustion (or distinct-candidate sampling, which cannot
+// reject cheaply) falls back to filtering the pool into preallocated
+// scratch, and ok=false reports a pool with no live member at all — the
+// caller then degrades to backhaul. Partial rejection progress is
+// discarded so the fallback's law stays uniform over the live members.
+func (s *TwoChoice) pickLivePool(pool []int32, d int, loads LoadReader, r *rand.Rand) (int32, bool) {
+	if s.live == nil {
+		return s.pickFromPool(pool, d, loads, r), true
+	}
+	if !s.cfg.WithoutReplacement && len(pool) > 1 {
+		var best int32 = -1
+		ties, accepted := 0, 0
+		for tries, budget := 0, 4*d+16; accepted < d; tries++ {
+			if tries >= budget {
+				best = -1
+				break
+			}
+			v := pool[r.IntN(len(pool))]
+			if !s.live.Live(int(v)) {
+				s.retried = true
+				continue
+			}
+			accepted++
+			best, ties = s.foldCandidate(best, ties, v, loads, r)
+		}
+		if best >= 0 {
+			return best, true
+		}
+	}
+	s.liveBuf = s.liveBuf[:0]
+	for _, v := range pool {
+		if s.live.Live(int(v)) {
+			s.liveBuf = append(s.liveBuf, v)
+		} else {
+			s.retried = true
+		}
+	}
+	if len(s.liveBuf) == 0 {
+		return -1, false
+	}
+	return s.pickFromPool(s.liveBuf, d, loads, r), true
+}
+
 // foldCandidate updates the running least-loaded winner with uniform tie
 // breaking (reservoir over minima).
 func (s *TwoChoice) foldCandidate(best int32, ties int, v int32, loads LoadReader, r *rand.Rand) (int32, int) {
@@ -880,6 +1028,7 @@ func (s *TwoChoice) foldCandidate(best int32, ties int, v int32, loads LoadReade
 }
 
 var _ Strategy = (*TwoChoice)(nil)
+var _ LivenessAware = (*TwoChoice)(nil)
 
 // LeastLoadedOracle assigns each request to the least-loaded replica
 // within the radius (full load information — the unattainable lower
@@ -901,9 +1050,14 @@ func (o *LeastLoadedOracle) Name() string {
 // Rebind implements Rebindable.
 func (o *LeastLoadedOracle) Rebind(p *cache.Placement) { o.inner.Rebind(p) }
 
+// SetLiveness implements LivenessAware (delegating to the inner
+// TwoChoice, whose candidate paths carry the mask).
+func (o *LeastLoadedOracle) SetLiveness(lv *cache.Liveness) { o.inner.SetLiveness(lv) }
+
 // Assign implements Strategy.
 func (o *LeastLoadedOracle) Assign(req Request, loads LoadReader, r *rand.Rand) Assignment {
 	s := o.inner
+	s.retried = false
 	reps := s.p.Replicas(int(req.File))
 	if len(reps) == 0 {
 		return backhaul(req)
@@ -924,12 +1078,26 @@ func (o *LeastLoadedOracle) Assign(req Request, loads LoadReader, r *rand.Rand) 
 	var best int32 = -1
 	ties := 0
 	for _, v := range pool {
+		if s.live != nil && !s.live.Live(int(v)) {
+			s.retried = true
+			continue
+		}
 		best, ties = s.foldCandidate(best, ties, v, loads, r)
 	}
-	return assignmentTo(s.g, req, best, escalated)
+	if best < 0 {
+		// Oracle or not, a file whose live replica set is empty can only
+		// be served upstream.
+		a := backhaul(req)
+		a.Retried = s.retried
+		return a
+	}
+	a := assignmentTo(s.g, req, best, escalated)
+	a.Retried = s.retried
+	return a
 }
 
 var _ Strategy = (*LeastLoadedOracle)(nil)
+var _ LivenessAware = (*LeastLoadedOracle)(nil)
 
 // NewOneChoice returns the random-replica-in-radius baseline (d = 1),
 // the natural "no load information" counterpart of Strategy II.

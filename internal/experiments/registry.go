@@ -33,6 +33,7 @@ var registry = map[string]Runner{
 	"widegrid":         WideGrid,
 	"churn":            Churn,
 	"staleness":        Staleness,
+	"faults":           Faults,
 }
 
 // IDs returns all experiment identifiers, sorted.

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"math/rand/v2"
+
+	"repro/internal/core"
+)
+
+// The fault phase of the request pipeline (robustness regime): after a
+// chunk of requests is assigned and accounted, the node liveness mask
+// mutates before the next chunk is generated — exactly the churn
+// discipline, so strategies never observe a half-applied failure and
+// every candidate enumeration sees a consistent mask.
+//
+// Crash and recovery events are scheduled by fractional credit
+// accumulators (FaultRate and RecoverRate expected events per request,
+// exact over the trial) and drawn from a dedicated per-trial fault
+// stream (xrand namespace 7), making the failure schedule a seeded
+// process independent of the placement, request and churn streams:
+// FaultsNone never derives the stream and stays bit-identical to the
+// fault-free engine, and the schedule itself is invariant across
+// Streams, Index, Workers and Strategy (pinned by
+// TestFaultScheduleIndexInvariant).
+//
+//   - FaultsCrash kills a uniform live node per crash event and revives
+//     a uniform dead node per recovery event (MTTR-style re-admission);
+//     draws are O(1) through the liveness permutation.
+//   - FaultsRegional kills every live node of a uniform tile-aligned
+//     region (the World's regionTiling failure domains, regionSize), and
+//     revives every dead node of a uniform region — correlated failures
+//     with the same O(1)-per-node cost.
+//
+// An event that finds nothing to kill (no live node, or a fully dead
+// region) or nothing to revive is dropped and counted in
+// Result.FaultSkipped. Load carried by a node at the instant it crashes
+// is accounted into Result.DeadLoad — work the failure stranded.
+
+// armFaults prepares the fault engine for one trial: reset the mask to
+// all-live, zero the event credits, bind the mask into the strategy and
+// derive the per-trial fault stream. Returns nil (and unbinds nothing)
+// under FaultsNone, keeping the fault-free engine untouched.
+func (r *Runner) armFaults(strat core.Strategy, t uint64) *rand.Rand {
+	if r.live == nil {
+		return nil
+	}
+	r.live.Reset()
+	r.faultCredit, r.recoverCredit = 0, 0
+	strat.(core.LivenessAware).SetLiveness(r.live)
+	return r.fault.stream(r.w.faultSrc, t)
+}
+
+// faultChunk applies the crash/recovery schedule accrued by one
+// accounted chunk of c requests, reading node loads through loads for
+// the DeadLoad account. The engine skips the call after the trial's
+// final chunk (no request would ever observe the mutation). Crash
+// events drain before recovery events within a chunk — the order is
+// part of the seeded process frozen by the fault golden matrix.
+func (r *Runner) faultChunk(rng *rand.Rand, c int, res *Result) {
+	w := r.w
+	r.faultCredit += w.cfg.FaultRate * float64(c)
+	r.recoverCredit += w.cfg.RecoverRate * float64(c)
+	for ; r.faultCredit >= 1; r.faultCredit-- {
+		r.crashEvent(rng, res)
+	}
+	for ; r.recoverCredit >= 1; r.recoverCredit-- {
+		r.recoverEvent(rng, res)
+	}
+}
+
+// nodeLoad reads node u's current load through the engine's active view:
+// the base vector everywhere except racy sharded trials, whose live
+// loads accumulate in the shared atomic vector instead.
+func (r *Runner) nodeLoad(u int32) int {
+	if r.shardRacy {
+		return r.atomicLoads.Load(int(u))
+	}
+	return r.loads.Load(int(u))
+}
+
+// crashEvent executes one crash: a uniform live node (FaultsCrash) or
+// every live node of a uniform region (FaultsRegional).
+func (r *Runner) crashEvent(rng *rand.Rand, res *Result) {
+	lv := r.live
+	switch r.w.cfg.Faults {
+	case FaultsCrash:
+		if lv.LiveCount() == 0 {
+			res.FaultSkipped++
+			return
+		}
+		u := lv.LiveAt(rng.IntN(lv.LiveCount()))
+		res.DeadLoad += r.nodeLoad(u)
+		lv.Kill(u)
+		res.FaultEvents++
+	case FaultsRegional:
+		tl := r.w.regionTiling
+		tid := int32(rng.IntN(tl.Tiles()))
+		members := tl.Order()[tl.OrderOff()[tid]:tl.OrderOff()[tid+1]]
+		killed := false
+		for _, u := range members {
+			if lv.Live(int(u)) {
+				res.DeadLoad += r.nodeLoad(u)
+				lv.Kill(u)
+				killed = true
+			}
+		}
+		if !killed {
+			res.FaultSkipped++
+			return
+		}
+		res.FaultEvents++
+	}
+}
+
+// recoverEvent executes one recovery: a uniform dead node (FaultsCrash)
+// or every dead node of a uniform region (FaultsRegional).
+func (r *Runner) recoverEvent(rng *rand.Rand, res *Result) {
+	lv := r.live
+	switch r.w.cfg.Faults {
+	case FaultsCrash:
+		if lv.DeadCount() == 0 {
+			res.FaultSkipped++
+			return
+		}
+		lv.Revive(lv.DeadAt(rng.IntN(lv.DeadCount())))
+		res.RecoverEvents++
+	case FaultsRegional:
+		tl := r.w.regionTiling
+		tid := int32(rng.IntN(tl.Tiles()))
+		members := tl.Order()[tl.OrderOff()[tid]:tl.OrderOff()[tid+1]]
+		revived := false
+		for _, u := range members {
+			if !lv.Live(int(u)) {
+				lv.Revive(u)
+				revived = true
+			}
+		}
+		if !revived {
+			res.FaultSkipped++
+			return
+		}
+		res.RecoverEvents++
+	}
+}
+
+// finishFaults stamps the trial's fault summary: the end-of-trial dead
+// population and the availability ratio — the fraction of requests the
+// cache network itself served (everything that did not fall through to
+// backhaul at the origin). A no-op under FaultsNone, whose Results stay
+// bit-identical to the fault-free engine.
+func (r *Runner) finishFaults(res *Result) {
+	if r.live == nil {
+		return
+	}
+	res.Faulted = true
+	res.DeadNodes = r.live.DeadCount()
+	if res.Requests > 0 {
+		res.Availability = float64(res.Requests-res.Backhaul) / float64(res.Requests)
+	}
+}

@@ -1,0 +1,178 @@
+package sim
+
+import "testing"
+
+// faultPin is one (config, trial) → Result pair captured from the fault
+// engine at introduction time. The fault disciplines are new seeded
+// processes — FaultsNone never derives the namespace-7 stream and is
+// frozen by the existing golden matrices, whose configs all carry the
+// zero-valued fault fields — so these pins freeze the failure schedule
+// from day one: any change to the event scheduler (credit accumulators,
+// crash-before-recover drain order, chunk gating), the event shape
+// (uniform live/dead draws, region draws), the region geometry
+// (regionSize) or the degradation ladder (dead-candidate rejection,
+// live-pool retry budget, escalation, backhaul) that perturbs seeded
+// trajectories must be deliberate and re-pinned.
+type faultPin struct {
+	name  string
+	trial uint64
+	cfg   Config
+	want  Result
+}
+
+// TestGoldenMatrixFaults replays the fault-mode matrix (faults ×
+// strategy × index × streams, plus miss-origin, churn-composed,
+// heavy-MTTR, sharded, Zipf-regional and streaming-metrics variants)
+// against the captured outputs.
+func TestGoldenMatrixFaults(t *testing.T) {
+	for _, p := range faultPins {
+		got, err := RunTrial(p.cfg, p.trial)
+		if err != nil {
+			t.Fatalf("%s t=%d: %v", p.name, p.trial, err)
+		}
+		if got != p.want {
+			t.Errorf("%s t=%d:\n got %+v\nwant %+v", p.name, p.trial, got, p.want)
+		}
+	}
+}
+
+// TestFaultsNoneBitIdentity re-asserts the FaultsNone freeze explicitly:
+// a Config with Faults spelled out as FaultsNone is the same comparable
+// value as the configs of the existing golden matrices (the fault fields
+// are zero-valued there), so replaying representative pins from the
+// head, index and churn matrices with Faults set documents — and
+// enforces — that the fault engine left every frozen trajectory
+// untouched.
+func TestFaultsNoneBitIdentity(t *testing.T) {
+	for _, i := range []int{0, 9, 25, 60, 101} {
+		p := headPins[i%len(headPins)]
+		p.cfg.Faults = FaultsNone
+		p.cfg.FaultRate = 0
+		p.cfg.RecoverRate = 0
+		got, err := RunTrial(p.cfg, p.trial)
+		if err != nil {
+			t.Fatalf("%s: %v", p.name, err)
+		}
+		if got != p.want {
+			t.Errorf("head pin %s t=%d diverged under explicit FaultsNone:\n got %+v\nwant %+v",
+				p.name, p.trial, got, p.want)
+		}
+	}
+	for _, i := range []int{0, 11, 29, 44} {
+		p := indexPins[i%len(indexPins)]
+		p.cfg.Faults = FaultsNone
+		got, err := RunTrial(p.cfg, p.trial)
+		if err != nil {
+			t.Fatalf("%s: %v", p.name, err)
+		}
+		if got != p.want {
+			t.Errorf("index pin %s t=%d diverged under explicit FaultsNone:\n got %+v\nwant %+v",
+				p.name, p.trial, got, p.want)
+		}
+	}
+	for _, i := range []int{0, 7, 19} {
+		p := churnPins[i%len(churnPins)]
+		p.cfg.Faults = FaultsNone
+		got, err := RunTrial(p.cfg, p.trial)
+		if err != nil {
+			t.Fatalf("%s: %v", p.name, err)
+		}
+		if got != p.want {
+			t.Errorf("churn pin %s t=%d diverged under explicit FaultsNone:\n got %+v\nwant %+v",
+				p.name, p.trial, got, p.want)
+		}
+	}
+}
+
+var faultPins = []faultPin{
+	{name: "crash/two-choices/none/interleaved", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Faults: 1, FaultRate: 0.02, RecoverRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 69, MeanCost: 4.399169921875, Requests: 4096, Escalated: 2297, Backhaul: 780, Uncached: 22, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 61, RecoverEvents: 30, FaultSkipped: 0, DeadNodes: 31, DeadLoad: 850, Retried: 441, Availability: 0.8095703125, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "crash/two-choices/none/interleaved", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Faults: 1, FaultRate: 0.02, RecoverRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 64, MeanCost: 4.36474609375, Requests: 4096, Escalated: 2303, Backhaul: 759, Uncached: 23, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 61, RecoverEvents: 30, FaultSkipped: 0, DeadNodes: 31, DeadLoad: 954, Retried: 466, Availability: 0.814697265625, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "crash/two-choices/tiles/interleaved", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Index: 1, Faults: 1, FaultRate: 0.02, RecoverRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 78, MeanCost: 4.391357421875, Requests: 4096, Escalated: 2306, Backhaul: 770, Uncached: 22, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 61, RecoverEvents: 30, FaultSkipped: 0, DeadNodes: 31, DeadLoad: 875, Retried: 444, Availability: 0.81201171875, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "crash/two-choices/tiles/interleaved", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Index: 1, Faults: 1, FaultRate: 0.02, RecoverRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 65, MeanCost: 4.37255859375, Requests: 4096, Escalated: 2298, Backhaul: 748, Uncached: 23, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 61, RecoverEvents: 30, FaultSkipped: 0, DeadNodes: 31, DeadLoad: 966, Retried: 463, Availability: 0.8173828125, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "crash/two-choices/none/split", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Streams: 1, Faults: 1, FaultRate: 0.02, RecoverRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 67, MeanCost: 4.4013671875, Requests: 4096, Escalated: 2343, Backhaul: 768, Uncached: 22, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 61, RecoverEvents: 30, FaultSkipped: 0, DeadNodes: 31, DeadLoad: 912, Retried: 446, Availability: 0.8125, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "crash/two-choices/none/split", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Streams: 1, Faults: 1, FaultRate: 0.02, RecoverRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 69, MeanCost: 4.37109375, Requests: 4096, Escalated: 2284, Backhaul: 747, Uncached: 23, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 61, RecoverEvents: 30, FaultSkipped: 0, DeadNodes: 31, DeadLoad: 944, Retried: 468, Availability: 0.817626953125, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "crash/two-choices/tiles/split", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Streams: 1, Index: 1, Faults: 1, FaultRate: 0.02, RecoverRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 67, MeanCost: 4.409912109375, Requests: 4096, Escalated: 2343, Backhaul: 768, Uncached: 22, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 61, RecoverEvents: 30, FaultSkipped: 0, DeadNodes: 31, DeadLoad: 920, Retried: 454, Availability: 0.8125, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "crash/two-choices/tiles/split", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Streams: 1, Index: 1, Faults: 1, FaultRate: 0.02, RecoverRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 69, MeanCost: 4.3662109375, Requests: 4096, Escalated: 2284, Backhaul: 747, Uncached: 23, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 61, RecoverEvents: 30, FaultSkipped: 0, DeadNodes: 31, DeadLoad: 928, Retried: 462, Availability: 0.817626953125, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "crash/nearest", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 0}, Requests: 4096, MissPolicy: 1, Faults: 1, FaultRate: 0.02, RecoverRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 68, MeanCost: 3.967529296875, Requests: 4096, Escalated: 0, Backhaul: 742, Uncached: 22, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 61, RecoverEvents: 30, FaultSkipped: 0, DeadNodes: 31, DeadLoad: 886, Retried: 727, Availability: 0.81884765625, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "crash/nearest", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 0}, Requests: 4096, MissPolicy: 1, Faults: 1, FaultRate: 0.02, RecoverRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 64, MeanCost: 3.901611328125, Requests: 4096, Escalated: 0, Backhaul: 812, Uncached: 23, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 61, RecoverEvents: 30, FaultSkipped: 0, DeadNodes: 31, DeadLoad: 884, Retried: 700, Availability: 0.8017578125, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "crash/oracle/tiles", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 3, Radius: 3}, Requests: 4096, MissPolicy: 1, Index: 1, Faults: 1, FaultRate: 0.02, RecoverRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 66, MeanCost: 4.412109375, Requests: 4096, Escalated: 2322, Backhaul: 746, Uncached: 22, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 61, RecoverEvents: 30, FaultSkipped: 0, DeadNodes: 31, DeadLoad: 897, Retried: 556, Availability: 0.81787109375, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "crash/oracle/tiles", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 3, Radius: 3}, Requests: 4096, MissPolicy: 1, Index: 1, Faults: 1, FaultRate: 0.02, RecoverRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 64, MeanCost: 4.341796875, Requests: 4096, Escalated: 2272, Backhaul: 779, Uncached: 23, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 61, RecoverEvents: 30, FaultSkipped: 0, DeadNodes: 31, DeadLoad: 894, Retried: 567, Availability: 0.809814453125, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "crash/heavy-mttr/tiles", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Index: 1, Faults: 1, FaultRate: 0.2, RecoverRate: 0.2, Seed: 0x63},
+		want: Result{MaxLoad: 72, MeanCost: 4.50732421875, Requests: 4096, Escalated: 2325, Backhaul: 634, Uncached: 22, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 432, RecoverEvents: 432, FaultSkipped: 364, DeadNodes: 0, DeadLoad: 6144, Retried: 0, Availability: 0.84521484375, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "crash/heavy-mttr/tiles", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Index: 1, Faults: 1, FaultRate: 0.2, RecoverRate: 0.2, Seed: 0x63},
+		want: Result{MaxLoad: 62, MeanCost: 4.492431640625, Requests: 4096, Escalated: 2318, Backhaul: 611, Uncached: 23, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 432, RecoverEvents: 432, FaultSkipped: 364, DeadNodes: 0, DeadLoad: 6144, Retried: 0, Availability: 0.850830078125, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "crash/miss-origin/tiles", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 2, Index: 1, Faults: 1, FaultRate: 0.02, RecoverRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 42, MeanCost: 0.55810546875, Requests: 4096, Escalated: 0, Backhaul: 3073, Uncached: 22, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 61, RecoverEvents: 30, FaultSkipped: 0, DeadNodes: 31, DeadLoad: 832, Retried: 136, Availability: 0.249755859375, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "crash/miss-origin/tiles", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 2, Index: 1, Faults: 1, FaultRate: 0.02, RecoverRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 46, MeanCost: 0.55517578125, Requests: 4096, Escalated: 0, Backhaul: 3113, Uncached: 23, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 61, RecoverEvents: 30, FaultSkipped: 0, DeadNodes: 31, DeadLoad: 858, Retried: 139, Availability: 0.239990234375, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "crash+churn/tiles", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Index: 1, Churn: 1, ChurnRate: 0.5, Faults: 1, FaultRate: 0.02, RecoverRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 60, MeanCost: 4.511474609375, Requests: 4096, Escalated: 2363, Backhaul: 723, Uncached: 22, ChurnEvents: 1481, ChurnSkipped: 55, Faulted: true, FaultEvents: 61, RecoverEvents: 30, FaultSkipped: 0, DeadNodes: 31, DeadLoad: 856, Retried: 435, Availability: 0.823486328125, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "crash+churn/tiles", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Index: 1, Churn: 1, ChurnRate: 0.5, Faults: 1, FaultRate: 0.02, RecoverRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 58, MeanCost: 4.461669921875, Requests: 4096, Escalated: 2338, Backhaul: 736, Uncached: 23, ChurnEvents: 1490, ChurnSkipped: 46, Faulted: true, FaultEvents: 61, RecoverEvents: 30, FaultSkipped: 0, DeadNodes: 31, DeadLoad: 936, Retried: 427, Availability: 0.8203125, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "crash/streaming/tiles", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Metrics: 2, Streams: 1, Index: 1, Faults: 1, FaultRate: 0.02, RecoverRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 67, MeanCost: 4.409912109375, Requests: 4096, Escalated: 2343, Backhaul: 768, Uncached: 22, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 61, RecoverEvents: 30, FaultSkipped: 0, DeadNodes: 31, DeadLoad: 920, Retried: 454, Availability: 0.8125, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: true, HopMax: 12, HopStd: 3.2143891068896284, LoadP99: 55, LinkMaxApprox: 56}},
+	{name: "crash/streaming/tiles", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Metrics: 2, Streams: 1, Index: 1, Faults: 1, FaultRate: 0.02, RecoverRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 69, MeanCost: 4.3662109375, Requests: 4096, Escalated: 2284, Backhaul: 747, Uncached: 23, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 61, RecoverEvents: 30, FaultSkipped: 0, DeadNodes: 31, DeadLoad: 928, Retried: 462, Availability: 0.817626953125, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: true, HopMax: 12, HopStd: 3.191513609457571, LoadP99: 61, LinkMaxApprox: 67}},
+	{name: "crash/workers2/tiles", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Streams: 1, Index: 1, Faults: 1, FaultRate: 0.02, RecoverRate: 0.01, Workers: 2, Seed: 0x63},
+		want: Result{MaxLoad: 62, MeanCost: 4.3359375, Requests: 4096, Escalated: 2262, Backhaul: 803, Uncached: 22, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 61, RecoverEvents: 30, FaultSkipped: 0, DeadNodes: 31, DeadLoad: 911, Retried: 462, Availability: 0.803955078125, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "crash/workers2/tiles", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Streams: 1, Index: 1, Faults: 1, FaultRate: 0.02, RecoverRate: 0.01, Workers: 2, Seed: 0x63},
+		want: Result{MaxLoad: 78, MeanCost: 4.38525390625, Requests: 4096, Escalated: 2281, Backhaul: 755, Uncached: 23, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 61, RecoverEvents: 30, FaultSkipped: 0, DeadNodes: 31, DeadLoad: 926, Retried: 482, Availability: 0.815673828125, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "regional/two-choices/none/interleaved", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Faults: 2, FaultRate: 0.002, RecoverRate: 0.002, Seed: 0x63},
+		want: Result{MaxLoad: 68, MeanCost: 4.483154296875, Requests: 4096, Escalated: 2345, Backhaul: 717, Uncached: 22, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 5, RecoverEvents: 2, FaultSkipped: 5, DeadNodes: 27, DeadLoad: 546, Retried: 441, Availability: 0.824951171875, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "regional/two-choices/none/interleaved", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Faults: 2, FaultRate: 0.002, RecoverRate: 0.002, Seed: 0x63},
+		want: Result{MaxLoad: 71, MeanCost: 4.2744140625, Requests: 4096, Escalated: 2244, Backhaul: 840, Uncached: 23, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 5, RecoverEvents: 2, FaultSkipped: 5, DeadNodes: 27, DeadLoad: 643, Retried: 510, Availability: 0.794921875, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "regional/two-choices/tiles/split", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Streams: 1, Index: 1, Faults: 2, FaultRate: 0.002, RecoverRate: 0.002, Seed: 0x63},
+		want: Result{MaxLoad: 66, MeanCost: 4.469970703125, Requests: 4096, Escalated: 2394, Backhaul: 734, Uncached: 22, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 5, RecoverEvents: 2, FaultSkipped: 5, DeadNodes: 27, DeadLoad: 587, Retried: 428, Availability: 0.82080078125, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "regional/two-choices/tiles/split", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Streams: 1, Index: 1, Faults: 2, FaultRate: 0.002, RecoverRate: 0.002, Seed: 0x63},
+		want: Result{MaxLoad: 67, MeanCost: 4.3251953125, Requests: 4096, Escalated: 2277, Backhaul: 797, Uncached: 23, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 5, RecoverEvents: 2, FaultSkipped: 5, DeadNodes: 27, DeadLoad: 594, Retried: 493, Availability: 0.805419921875, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "regional/nearest", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 0}, Requests: 4096, MissPolicy: 1, Faults: 2, FaultRate: 0.002, RecoverRate: 0.002, Seed: 0x63},
+		want: Result{MaxLoad: 68, MeanCost: 4.138427734375, Requests: 4096, Escalated: 0, Backhaul: 655, Uncached: 22, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 5, RecoverEvents: 2, FaultSkipped: 5, DeadNodes: 27, DeadLoad: 539, Retried: 702, Availability: 0.840087890625, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "regional/nearest", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 0}, Requests: 4096, MissPolicy: 1, Faults: 2, FaultRate: 0.002, RecoverRate: 0.002, Seed: 0x63},
+		want: Result{MaxLoad: 65, MeanCost: 3.91748046875, Requests: 4096, Escalated: 0, Backhaul: 833, Uncached: 23, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 5, RecoverEvents: 2, FaultSkipped: 5, DeadNodes: 27, DeadLoad: 684, Retried: 866, Availability: 0.796630859375, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "regional/zipf/heavy", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 1.2}, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Faults: 2, FaultRate: 0.01, RecoverRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 47, MeanCost: 2.837890625, Requests: 4096, Escalated: 809, Backhaul: 633, Uncached: 79, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 17, RecoverEvents: 10, FaultSkipped: 33, DeadNodes: 63, DeadLoad: 2290, Retried: 1435, Availability: 0.845458984375, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+	{name: "regional/zipf/heavy", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Popularity: PopSpec{Kind: 1, Gamma: 1.2}, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Faults: 2, FaultRate: 0.01, RecoverRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 76, MeanCost: 2.98583984375, Requests: 4096, Escalated: 936, Backhaul: 593, Uncached: 85, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 15, RecoverEvents: 10, FaultSkipped: 35, DeadNodes: 45, DeadLoad: 1911, Retried: 1230, Availability: 0.855224609375, MaxLinkLoad: 0, LinkCongestion: 0, Streamed: false, HopMax: 0, HopStd: 0, LoadP99: 0, LinkMaxApprox: 0}},
+}

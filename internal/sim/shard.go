@@ -69,6 +69,7 @@ type shardAcct struct {
 	hops      int64
 	escalated int
 	backhaul  int
+	retried   int
 }
 
 // shardState is one worker's private scratch: its strategy instance
@@ -178,6 +179,19 @@ func (r *Runner) runTrialSharded(t uint64) Result {
 			r.driftPop = nil
 		}
 	}
+	// Faults compose with sharding: one shared mask, bound into every
+	// shard's strategy, mutated only by the coordinator at the chunk
+	// barrier (workers read it concurrently but never during a mutation —
+	// the same happens-before edges that protect the chunk buffers).
+	var faultRNG *rand.Rand
+	if r.live != nil {
+		r.live.Reset()
+		r.faultCredit, r.recoverCredit = 0, 0
+		for s := range r.shards {
+			r.shards[s].strat.(core.LivenessAware).SetLiveness(r.live)
+		}
+		faultRNG = r.fault.stream(w.faultSrc, t)
+	}
 
 	chunk := len(r.origins)
 	nChunks := (w.nReq + chunk - 1) / chunk
@@ -211,6 +225,7 @@ func (r *Runner) runTrialSharded(t uint64) Result {
 			a.hops += st.acct.hops
 			a.escalated += st.acct.escalated
 			a.backhaul += st.acct.backhaul
+			a.retried += st.acct.retried
 			st.acct = shardAcct{}
 		}
 		if links != nil {
@@ -237,12 +252,17 @@ func (r *Runner) runTrialSharded(t uint64) Result {
 				}
 			}
 		}
-		if churnRNG != nil && base+c < w.nReq {
-			r.churnChunk(placement, churnRNG, c, &res)
+		if base+c < w.nReq {
+			if faultRNG != nil {
+				r.faultChunk(faultRNG, c, &res)
+			}
+			if churnRNG != nil {
+				r.churnChunk(placement, churnRNG, c, &res)
+			}
 		}
 	}
 
-	res.Escalated, res.Backhaul = a.escalated, a.backhaul
+	res.Escalated, res.Backhaul, res.Retried = a.escalated, a.backhaul, a.retried
 	if links != nil {
 		res.MaxLinkLoad = links.Max()
 		res.LinkCongestion = links.CongestionFactor()
@@ -271,6 +291,7 @@ func (r *Runner) runTrialSharded(t uint64) Result {
 			res.LinkMaxApprox = r.links64.MaxCount()
 		}
 	}
+	r.finishFaults(&res)
 	return res
 }
 
@@ -327,6 +348,10 @@ func (r *Runner) runShard(s int) {
 			if a.Backhaul {
 				f |= flagBackhaul
 				st.acct.backhaul++
+			}
+			if a.Retried {
+				f |= flagRetried
+				st.acct.retried++
 			}
 			r.flags[i] = f
 			st.acct.hops += int64(a.Hops)

@@ -121,6 +121,19 @@ func (m MissPolicy) String() string {
 	}
 }
 
+// ParseMiss converts a CLI name.
+func ParseMiss(s string) (MissPolicy, error) {
+	switch s {
+	case "resample", "":
+		return MissResample, nil
+	case "escalate":
+		return MissEscalate, nil
+	case "origin":
+		return MissOrigin, nil
+	}
+	return 0, fmt.Errorf("sim: unknown miss policy %q (want resample, escalate or origin)", s)
+}
+
 // MetricsMode selects how much per-trial instrumentation a trial carries
 // beyond the Definition 1 scalars (max load L, mean cost C, miss
 // counters), and at what memory cost.
@@ -362,6 +375,60 @@ func ParseShard(s string) (ShardMode, error) {
 	return 0, fmt.Errorf("sim: unknown shard mode %q (want deterministic or racy)", s)
 }
 
+// FaultsMode selects the node fault-injection discipline: servers crash
+// (and optionally recover) mid-trial while the placement stays put —
+// liveness over fixed geometry, the node-departure half of the §VI
+// dynamic regime. Crash and recovery events are drawn from a dedicated
+// fault RNG stream and applied at chunk barriers exactly like churn, so
+// the strategies always observe a consistent liveness view; between
+// barriers every candidate path masks dead nodes and walks the
+// graceful-degradation ladder (retry among live replicas → escalate to
+// r = ∞ over live nodes → backhaul at the origin).
+type FaultsMode int
+
+const (
+	// FaultsNone keeps every node live for the whole trial (every golden
+	// matrix runs here; the fault RNG stream is never consumed). Default.
+	FaultsNone FaultsMode = iota
+	// FaultsCrash kills i.i.d. uniform live nodes at FaultRate events per
+	// request and re-admits uniform dead nodes at RecoverRate — the
+	// classic independent-failure model with exponential-like MTTR.
+	FaultsCrash
+	// FaultsRegional kills tile-aligned regions instead of single nodes:
+	// each crash event picks a uniform region of the world's fault
+	// tiling and kills every live node in it; each recovery event picks
+	// a uniform region and revives every dead node in it — correlated
+	// failures (rack, pod or geography outages) under the same rates.
+	FaultsRegional
+)
+
+// String implements fmt.Stringer.
+func (f FaultsMode) String() string {
+	switch f {
+	case FaultsNone:
+		return "none"
+	case FaultsCrash:
+		return "crash"
+	case FaultsRegional:
+		return "regional"
+	default:
+		return fmt.Sprintf("FaultsMode(%d)", int(f))
+	}
+}
+
+// ParseFaults converts a CLI name.
+func ParseFaults(s string) (FaultsMode, error) {
+	switch s {
+	case "none", "":
+		return FaultsNone, nil
+	case "crash":
+		return FaultsCrash, nil
+	case "regional":
+		return FaultsRegional, nil
+	}
+	return 0, fmt.Errorf("sim: unknown faults mode %q (want none, crash or regional)", s)
+}
+
 // Config declares one simulated world. The zero value is not runnable; use
 // the documented fields (Side, K, M are mandatory).
 type Config struct {
@@ -406,6 +473,21 @@ type Config struct {
 	// dedicated churn RNG stream, so the strategies always observe a
 	// consistent placement and index.
 	ChurnRate float64
+	// Faults selects the node fault-injection discipline (zero value:
+	// FaultsNone; see FaultsMode). Non-none faults require a positive
+	// FaultRate and exclude MissPolicy == MissResample: the resampled
+	// request stream conditions on cached files, not live ones, so a
+	// faulted world would silently re-weight the workload — use
+	// MissEscalate or MissOrigin, whose streams are unconditioned.
+	Faults FaultsMode
+	// FaultRate is the expected number of crash events per request
+	// (under FaultsRegional each event fells a whole region). Events are
+	// applied between pipeline chunks from a dedicated fault RNG stream.
+	FaultRate float64
+	// RecoverRate is the expected number of recovery events per request
+	// — the MTTR-style re-admission knob. 0 means crashes are permanent
+	// for the trial.
+	RecoverRate float64
 	// CollectLinks is the pre-Metrics spelling of MetricsLinks, kept for
 	// compatibility: it upgrades MetricsScalar to MetricsLinks.
 	CollectLinks bool
@@ -464,6 +546,21 @@ func (c Config) validate() error {
 	if c.Churn == ChurnNone && c.ChurnRate != 0 {
 		return fmt.Errorf("sim: ChurnRate %v needs a churn mode (set Config.Churn)", c.ChurnRate)
 	}
+	if c.Faults < FaultsNone || c.Faults > FaultsRegional {
+		return fmt.Errorf("sim: unknown faults mode %d", int(c.Faults))
+	}
+	if c.Faults != FaultsNone && c.FaultRate <= 0 {
+		return fmt.Errorf("sim: faults mode %v needs a positive FaultRate", c.Faults)
+	}
+	if c.Faults == FaultsNone && (c.FaultRate != 0 || c.RecoverRate != 0) {
+		return fmt.Errorf("sim: FaultRate/RecoverRate %v/%v need a faults mode (set Config.Faults)", c.FaultRate, c.RecoverRate)
+	}
+	if c.RecoverRate < 0 {
+		return fmt.Errorf("sim: RecoverRate must be non-negative, got %v", c.RecoverRate)
+	}
+	if c.Faults != FaultsNone && c.MissPolicy == MissResample {
+		return fmt.Errorf("sim: faults mode %v cannot combine with MissPolicy=resample (the resampled stream conditions on cached files, not live ones); use MissEscalate or MissOrigin", c.Faults)
+	}
 	if c.CollectLinks && c.Metrics == MetricsStreaming {
 		return fmt.Errorf("sim: CollectLinks materializes per-link loads; it cannot combine with MetricsStreaming")
 	}
@@ -500,6 +597,18 @@ type Result struct {
 	// Churn counters, populated only under a non-none Config.Churn.
 	ChurnEvents  int // replica migrations applied this trial
 	ChurnSkipped int // scheduled events dropped as infeasible (see ChurnMode)
+
+	// Fault-injection metrics, populated only under a non-none
+	// Config.Faults (Faulted marks them live so all-zero outcomes stay
+	// distinguishable from FaultsNone).
+	Faulted       bool    // the fault scheduler ran for this trial
+	FaultEvents   int     // crash events applied (regions under FaultsRegional)
+	RecoverEvents int     // recovery events applied
+	FaultSkipped  int     // scheduled events dropped (no live/dead node to hit)
+	DeadNodes     int     // dead nodes at trial end
+	DeadLoad      int     // load stranded on servers at their crash instants
+	Retried       int     // requests that rejected ≥ 1 dead candidate (degraded path)
+	Availability  float64 // served in-network: (Requests - Backhaul) / Requests
 
 	// Link metrics, populated only in MetricsLinks mode (or the
 	// compatibility Config.CollectLinks spelling).
@@ -596,6 +705,17 @@ type Aggregate struct {
 	// Churn counters (only meaningful under a non-none Config.Churn).
 	ChurnEvents  stats.Summary
 	ChurnSkipped stats.Summary
+
+	// Fault-injection metrics (only meaningful under a non-none
+	// Config.Faults). Availability and Retried are per-trial fractions
+	// of requests; the rest are per-trial counts.
+	Availability  stats.Summary
+	Retried       stats.Summary
+	FaultEvents   stats.Summary
+	RecoverEvents stats.Summary
+	FaultSkipped  stats.Summary
+	DeadNodes     stats.Summary
+	DeadLoad      stats.Summary
 }
 
 // Add folds one trial result into the aggregate.
@@ -622,6 +742,17 @@ func (a *Aggregate) Add(r Result) {
 		a.ChurnEvents.Add(float64(r.ChurnEvents))
 		a.ChurnSkipped.Add(float64(r.ChurnSkipped))
 	}
+	if r.Faulted {
+		a.Availability.Add(r.Availability)
+		if r.Requests > 0 {
+			a.Retried.Add(float64(r.Retried) / float64(r.Requests))
+		}
+		a.FaultEvents.Add(float64(r.FaultEvents))
+		a.RecoverEvents.Add(float64(r.RecoverEvents))
+		a.FaultSkipped.Add(float64(r.FaultSkipped))
+		a.DeadNodes.Add(float64(r.DeadNodes))
+		a.DeadLoad.Add(float64(r.DeadLoad))
+	}
 }
 
 // Merge folds another aggregate into a (parallel reduction).
@@ -640,6 +771,13 @@ func (a *Aggregate) Merge(o Aggregate) {
 	a.LinkMaxApprox.Merge(o.LinkMaxApprox)
 	a.ChurnEvents.Merge(o.ChurnEvents)
 	a.ChurnSkipped.Merge(o.ChurnSkipped)
+	a.Availability.Merge(o.Availability)
+	a.Retried.Merge(o.Retried)
+	a.FaultEvents.Merge(o.FaultEvents)
+	a.RecoverEvents.Merge(o.RecoverEvents)
+	a.FaultSkipped.Merge(o.FaultSkipped)
+	a.DeadNodes.Merge(o.DeadNodes)
+	a.DeadLoad.Merge(o.DeadLoad)
 }
 
 // String renders the headline metrics.

@@ -68,11 +68,13 @@ type World struct {
 	fileSrc      xrand.Source // namespace 4: split-discipline file streams
 	assignSrc    xrand.Source // namespace 5: split-discipline assignment streams
 	churnSrc     xrand.Source // namespace 6: churn event streams
+	faultSrc     xrand.Source // namespace 7: fault event streams
 	nReq         int
 	metrics      MetricsMode  // resolved (CollectLinks folded in)
 	chunk        int          // request-pipeline block size (tests override)
 	loadBound    int          // streaming load-histogram bound
 	tiling       *grid.Tiling // spatial-index geometry (IndexTiles, bounded radius)
+	regionTiling *grid.Tiling // FaultsRegional failure-domain geometry
 
 	runners sync.Pool // *Runner recycling for the RunTrial convenience path
 }
@@ -92,6 +94,7 @@ func Compile(cfg Config) (*World, error) {
 		fileSrc:   src.Split(4),
 		assignSrc: src.Split(5),
 		churnSrc:  src.Split(6),
+		faultSrc:  src.Split(7),
 		metrics:   cfg.Metrics,
 		chunk:     defaultChunk,
 	}
@@ -116,6 +119,13 @@ func Compile(cfg Config) (*World, error) {
 		if r, ok := indexedRadius(cfg, w.g); ok {
 			w.tiling = w.g.NewTiling(tileSize(cfg.Side, r))
 		}
+	}
+	// Regional faults kill whole tile-aligned failure domains. The region
+	// side is independent of the index tiling (which tracks the search
+	// radius): a fixed geometry of roughly 4×4 regions per lattice axis
+	// keeps a single event correlated but survivable.
+	if cfg.Faults == FaultsRegional {
+		w.regionTiling = w.g.NewTiling(regionSize(cfg.Side))
 	}
 	// Size the streaming load histogram to the regime: 32× the mean
 	// per-node load on top of the baseline keeps quantiles exact far past
@@ -171,7 +181,31 @@ func (rr *reseedRand) stream(s xrand.Source, t uint64) *rand.Rand {
 const (
 	flagEscalated = 1 << 0
 	flagBackhaul  = 1 << 1
+	flagRetried   = 1 << 2
 )
+
+// regionSize picks the FaultsRegional failure-domain side for a lattice
+// of the given side: the largest divisor of side no larger than side/4,
+// so one regional event takes out at most ~1/16 of the world. Degenerates
+// to single-node regions on tiny or prime sides.
+func regionSize(side int) int {
+	bound := max(1, side/4)
+	for t := bound; t >= 1; t-- {
+		if side%t == 0 {
+			return t
+		}
+	}
+	return 1
+}
+
+// RegionNodes reports the node count of one FaultsRegional failure
+// domain on an L×L lattice — the per-event blast radius. Exposed so
+// experiments can scale FaultRate from a target failed fraction
+// (events × RegionNodes ≈ nodes killed, ignoring region re-draws).
+func RegionNodes(side int) int {
+	t := regionSize(side)
+	return t * t
+}
 
 // Runner executes trials of one World through reusable per-worker scratch:
 // the placement builder, the load vector, the strategy instance with its
@@ -208,7 +242,7 @@ type Runner struct {
 	weights []float64
 	cond    *dist.CustomBuilder
 
-	place, req, origin, file, assign, churn reseedRand
+	place, req, origin, file, assign, churn, fault reseedRand
 
 	// Churn state (Config.Churn != ChurnNone): the fractional event
 	// credit carried between chunks and, for ChurnDrift, the shot-noise
@@ -219,6 +253,14 @@ type Runner struct {
 	driftWeights []float64
 	driftCond    *dist.CustomBuilder
 	driftPop     dist.Popularity
+
+	// Fault state (Config.Faults != FaultsNone): the node liveness mask
+	// bound into the strategies, plus the fractional crash/recover event
+	// credits carried between chunks (FaultRate and RecoverRate expected
+	// events per request, exact over the trial; see faults.go).
+	live          *cache.Liveness
+	faultCredit   float64
+	recoverCredit float64
 
 	// Chunk buffers of the request pipeline (len = min(chunk, requests)).
 	origins []int32
@@ -324,6 +366,14 @@ func (w *World) NewRunner() *Runner {
 			r.driftCond = dist.NewCustomBuilder(w.cfg.K)
 		}
 	}
+	if w.cfg.Faults != FaultsNone {
+		r.live = cache.NewLiveness(w.g.N())
+		if w.tiling != nil {
+			// Share the index tiling so the tile walks can skip fully dead
+			// tiles through the per-tile live counts.
+			r.live.BindTiling(w.tiling)
+		}
+	}
 	return r
 }
 
@@ -369,6 +419,7 @@ type acct struct {
 	hops      float64
 	escalated int
 	backhaul  int
+	retried   int
 }
 
 // RunTrial executes one independent trial. Identical (cfg, t) pairs
@@ -424,6 +475,10 @@ func (r *Runner) RunTrial(t uint64) Result {
 			r.driftPop = nil
 		}
 	}
+	// Likewise the fault stream (namespace 7): FaultsNone never derives
+	// it, never binds a mask, and stays bit-identical to the fault-free
+	// engine (pinned by the golden matrices).
+	faultRNG := r.armFaults(strat, t)
 
 	var a acct
 	chunk := len(r.origins)
@@ -434,8 +489,13 @@ func (r *Runner) RunTrial(t uint64) Result {
 			c := min(chunk, w.nReq-base)
 			r.generateAssign(strat, fileSampler, reqRNG, c)
 			r.account(c, &a, links, hopAcc)
-			if churnRNG != nil && base+c < w.nReq {
-				r.churnChunk(placement, churnRNG, c, &res)
+			if base+c < w.nReq {
+				if faultRNG != nil {
+					r.faultChunk(faultRNG, c, &res)
+				}
+				if churnRNG != nil {
+					r.churnChunk(placement, churnRNG, c, &res)
+				}
 			}
 		}
 	case StreamsSplit:
@@ -447,13 +507,19 @@ func (r *Runner) RunTrial(t uint64) Result {
 			dist.RequestBatch(originRNG, fileRNG, n, fileSampler, r.origins[:c], r.files[:c])
 			r.assignChunk(strat, assignRNG, c)
 			r.account(c, &a, links, hopAcc)
-			if churnRNG != nil && base+c < w.nReq {
-				r.churnChunk(placement, churnRNG, c, &res)
+			if base+c < w.nReq {
+				if faultRNG != nil {
+					r.faultChunk(faultRNG, c, &res)
+				}
+				if churnRNG != nil {
+					r.churnChunk(placement, churnRNG, c, &res)
+				}
 			}
 		}
 	}
 
-	res.Escalated, res.Backhaul = a.escalated, a.backhaul
+	res.Escalated, res.Backhaul, res.Retried = a.escalated, a.backhaul, a.retried
+	r.finishFaults(&res)
 	if links != nil {
 		res.MaxLinkLoad = links.Max()
 		res.LinkCongestion = links.CongestionFactor()
@@ -516,6 +582,9 @@ func (r *Runner) record(i int, a core.Assignment) {
 	if a.Backhaul {
 		f |= flagBackhaul
 	}
+	if a.Retried {
+		f |= flagRetried
+	}
 	r.flags[i] = f
 }
 
@@ -532,6 +601,9 @@ func (r *Runner) account(c int, a *acct, links *routing.LinkLoads, hopAcc *stats
 		}
 		if f&flagBackhaul != 0 {
 			a.backhaul++
+		}
+		if f&flagRetried != 0 {
+			a.retried++
 		}
 	}
 	if links != nil {

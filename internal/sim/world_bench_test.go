@@ -141,6 +141,23 @@ func BenchmarkWorldRunTrialIndexed(b *testing.B) {
 	}
 }
 
+// BenchmarkWideWorldTrialFaults is the wide-world trial with the fault
+// engine live: FaultsCrash at a rate that kills ~1% of the 10⁶ nodes
+// over the trial with MTTR-style recovery at half that rate, under the
+// tile index and MissEscalate (the resampling policy is incompatible
+// with faults). Measures the steady-state cost of the liveness mask on
+// the request path — per-candidate Live() checks, tile live-count
+// consultation, and the occasional degradation-ladder retry — on top of
+// the per-chunk fault events themselves.
+func BenchmarkWideWorldTrialFaults(b *testing.B) {
+	cfg := wideWorldCfg(IndexTiles)
+	cfg.MissPolicy = MissEscalate
+	cfg.Faults = FaultsCrash
+	cfg.FaultRate = 0.01
+	cfg.RecoverRate = 0.005
+	benchWideWorld(b, cfg)
+}
+
 // BenchmarkCompile measures the trial-invariant setup the World layer
 // amortizes (grid + coordinate tables, Zipf PMF + alias table, placement
 // profile, RNG sources).

@@ -191,6 +191,11 @@ type (
 	// ShardMode selects the intra-trial sharded engine's load-visibility
 	// discipline (deterministic or racy) when Config.Workers > 0.
 	ShardMode = sim.ShardMode
+	// FaultsMode selects the node fault-injection discipline (none,
+	// crash or regional): servers crash and recover mid-trial, with the
+	// strategies masking dead nodes through a graceful-degradation
+	// ladder.
+	FaultsMode = sim.FaultsMode
 	// AtomicLoads is the lock-free shared load vector of the racy
 	// sharded mode (atomic adds, unsynchronized stale reads).
 	AtomicLoads = ballsbins.AtomicLoads
@@ -257,6 +262,20 @@ const (
 	ChurnDrift = sim.ChurnDrift
 )
 
+// Fault discipline constants for Config.Faults (with Config.FaultRate
+// and Config.RecoverRate expected events per request).
+const (
+	// FaultsNone keeps every node live for the whole trial (default,
+	// golden-pinned).
+	FaultsNone = sim.FaultsNone
+	// FaultsCrash kills uniform live nodes and revives uniform dead ones
+	// (MTTR-style re-admission).
+	FaultsCrash = sim.FaultsCrash
+	// FaultsRegional kills and revives whole tile-aligned regions —
+	// correlated failure domains.
+	FaultsRegional = sim.FaultsRegional
+)
+
 // Link-sketch bounds for Result.LinkMaxApprox (MetricsStreaming): the
 // sketch holds LinkSketchCap directed-link counters and runs on worlds
 // with at most LinkSketchMaxN nodes; larger worlds report 0. See
@@ -276,6 +295,12 @@ func NewDrifter(k int, boost, birthRate, lifespan float64) *Drifter {
 
 // ParseChurn converts a CLI name into a ChurnMode.
 func ParseChurn(s string) (ChurnMode, error) { return sim.ParseChurn(s) }
+
+// ParseFaults converts a CLI name into a FaultsMode.
+func ParseFaults(s string) (FaultsMode, error) { return sim.ParseFaults(s) }
+
+// ParseMiss converts a CLI name into a MissPolicy.
+func ParseMiss(s string) (MissPolicy, error) { return sim.ParseMiss(s) }
 
 // ParseShard converts a CLI name into a ShardMode.
 func ParseShard(s string) (ShardMode, error) { return sim.ParseShard(s) }
