@@ -76,6 +76,7 @@ func main() {
 		trials   = flag.Int("trials", 50, "independent trials")
 		workers  = flag.Int("workers", 0, "parallel workers across trials (0 = GOMAXPROCS)")
 		seed     = flag.Uint64("seed", 2017, "root random seed")
+		verbose  = flag.Bool("v", false, "print per-era placement diagnostics (the served-mode snapshot stamp)")
 	)
 	flag.Parse()
 
@@ -116,6 +117,29 @@ func main() {
 		if agg.LinkMaxApprox.Mean() > 0 {
 			fmt.Printf("link load: max ≈ %s (space-saving sketch upper bound)\n", agg.LinkMaxApprox.String())
 		}
+	}
+	if *verbose {
+		printEras(cfg, *trials)
+	}
+}
+
+// printEras prints the placement-era diagnostic stamp of each trial —
+// the same World.Snapshot stamp the served daemon reports on /metrics,
+// so batch and served runs of one (config, seed) pair can be lined up
+// era by era. Capped at the first few eras; a snapshot compile is a
+// full placement build.
+func printEras(cfg repro.Config, trials int) {
+	const maxEras = 8
+	w, err := repro.Compile(cfg)
+	if err != nil {
+		return
+	}
+	fmt.Println("placement eras (served-mode snapshot stamps):")
+	for t := 0; t < min(trials, maxEras); t++ {
+		fmt.Printf("  %s\n", w.Snapshot(uint64(t)).Info())
+	}
+	if trials > maxEras {
+		fmt.Printf("  … %d more eras\n", trials-maxEras)
 	}
 }
 

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -47,32 +48,37 @@ func main() {
 	if *id == "all" {
 		ids = repro.ExperimentIDs()
 	}
-	if err := os.MkdirAll(*out, 0o755); err != nil {
+	if err := run(ids, opt, *out, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
+	}
+}
+
+// run executes each experiment, writes <out>/<id>.csv and prints the
+// markdown summary to stdout.
+func run(ids []string, opt repro.ExpOptions, out string, stdout io.Writer) error {
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
 	}
 	for _, eid := range ids {
 		start := time.Now()
 		table, err := repro.Experiment(eid, opt)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "figures: %s: %v\n", eid, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", eid, err)
 		}
-		path := filepath.Join(*out, eid+".csv")
+		path := filepath.Join(out, eid+".csv")
 		f, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
+			return err
 		}
 		if err := table.WriteCSV(f); err != nil {
 			f.Close()
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "figures:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("%s\n(%s, wrote %s)\n\n", table.Markdown(), time.Since(start).Round(time.Millisecond), path)
+		fmt.Fprintf(stdout, "%s\n(%s, wrote %s)\n\n", table.Markdown(), time.Since(start).Round(time.Millisecond), path)
 	}
+	return nil
 }

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/experiments"
+)
+
+// TestRunWritesCSV smoke-tests the figure pipeline end to end: the
+// quick preset (single trial) must write one CSV per experiment id into
+// the output directory with the expected header row, and print a
+// markdown summary per experiment.
+func TestRunWritesCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiments")
+	}
+	// The two fastest experiment ids under -preset quick -trials 1,
+	// with their pinned CSV headers.
+	headers := map[string]string{
+		"example3":  "series,n,max load,ci95",
+		"placement": "series,radius,max load,ci95,cost,escalated,uncached",
+	}
+	ids := make([]string, 0, len(headers))
+	for id := range headers {
+		ids = append(ids, id)
+	}
+
+	dir := t.TempDir()
+	var stdout bytes.Buffer
+	opt := repro.ExpOptions{Preset: experiments.Quick, Trials: 1, Seed: 2017}
+	if err := run(ids, opt, dir, &stdout); err != nil {
+		t.Fatal(err)
+	}
+
+	for id, header := range headers {
+		f, err := os.Open(filepath.Join(dir, id+".csv"))
+		if err != nil {
+			t.Fatalf("%s: missing CSV: %v", id, err)
+		}
+		sc := bufio.NewScanner(f)
+		if !sc.Scan() {
+			t.Fatalf("%s: empty CSV", id)
+		}
+		if got := sc.Text(); got != header {
+			t.Errorf("%s: header %q, want %q", id, got, header)
+		}
+		rows := 0
+		for sc.Scan() {
+			rows++
+		}
+		f.Close()
+		if rows == 0 {
+			t.Errorf("%s: CSV has a header but no data rows", id)
+		}
+	}
+	if out := stdout.String(); strings.Count(out, "wrote ") != len(ids) {
+		t.Errorf("stdout summarized %d experiments, want %d:\n%s",
+			strings.Count(out, "wrote "), len(ids), out)
+	}
+}
+
+// TestRunUnknownID checks the error path surfaces the offending id.
+func TestRunUnknownID(t *testing.T) {
+	opt := repro.ExpOptions{Preset: experiments.Quick, Trials: 1, Seed: 2017}
+	err := run([]string{"no-such-figure"}, opt, t.TempDir(), &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "no-such-figure") {
+		t.Fatalf("err = %v, want mention of the unknown id", err)
+	}
+}

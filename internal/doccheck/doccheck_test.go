@@ -27,6 +27,7 @@ var checkedDirs = []string{
 	"internal/cache",
 	"internal/core",
 	"internal/grid",
+	"internal/serve",
 	"internal/sim",
 }
 

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// latencyBound caps the per-batch latency histogram at 100ms in
+// microsecond resolution — far above any healthy batch, so quantiles
+// stay exact where they matter and the histogram stays a fixed 800KB.
+const latencyBound = 100_000
+
+// Server is the HTTP front of an Engine: batched placement queries on
+// POST /v1/place, liveness on GET /healthz, and qps/latency/era
+// diagnostics on GET /metrics. Decision contexts are pooled per
+// request, so concurrent connections scale like the in-process engine.
+type Server struct {
+	e     *Engine
+	mux   *http.ServeMux
+	start time.Time
+
+	mu      sync.Mutex
+	lat     *stats.Accumulator // per-batch service latency, µs
+	batches int64
+}
+
+// NewServer wraps e in an HTTP handler.
+func NewServer(e *Engine) *Server {
+	s := &Server{
+		e:     e,
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+		lat:   stats.NewAccumulator(latencyBound),
+	}
+	s.mux.HandleFunc("POST /v1/place", s.handlePlace)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Engine returns the wrapped engine.
+func (s *Server) Engine() *Engine { return s.e }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// PlaceRequest is the POST /v1/place body: a batch of queries.
+type PlaceRequest struct {
+	Pairs []Pair `json:"pairs"`
+}
+
+// PlaceResponse is the POST /v1/place answer: one decision per query,
+// all stamped with the single snapshot version they observed.
+type PlaceResponse struct {
+	Stamp
+	Decisions []Decision `json:"decisions"`
+}
+
+// maxBatch bounds one /v1/place request; larger batches should be
+// split client-side (the stamp is per batch, so a bound also bounds
+// how stale a batch's pinned snapshot can get).
+const maxBatch = 1 << 16
+
+func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
+	var req PlaceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Pairs) == 0 {
+		http.Error(w, "bad request: empty batch", http.StatusBadRequest)
+		return
+	}
+	if len(req.Pairs) > maxBatch {
+		http.Error(w, fmt.Sprintf("bad request: batch %d exceeds limit %d", len(req.Pairs), maxBatch), http.StatusBadRequest)
+		return
+	}
+	n := s.e.World().N()
+	k := s.e.World().Config().K
+	for i, p := range req.Pairs {
+		if p.User < 0 || int(p.User) >= n || p.File < 0 || int(p.File) >= k {
+			http.Error(w, fmt.Sprintf("bad request: pair %d (u=%d f=%d) out of range (n=%d K=%d)", i, p.User, p.File, n, k), http.StatusBadRequest)
+			return
+		}
+	}
+
+	t0 := time.Now()
+	ctx := s.e.Get()
+	resp := PlaceResponse{Decisions: make([]Decision, len(req.Pairs))}
+	resp.Stamp = ctx.PlaceBatch(req.Pairs, resp.Decisions)
+	s.e.Put(ctx)
+	el := time.Since(t0).Microseconds()
+
+	s.mu.Lock()
+	s.lat.Observe(int(el))
+	s.batches++
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(&resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}
+
+// Metrics is the GET /metrics payload.
+type Metrics struct {
+	UptimeSec   float64 `json:"uptime_sec"`
+	Decisions   int64   `json:"decisions"`
+	Batches     int64   `json:"batches"`
+	QPS         float64 `json:"qps"` // decisions/s over uptime
+	LatMeanUS   float64 `json:"lat_mean_us"`
+	LatP50US    int     `json:"lat_p50_us"`
+	LatP99US    int     `json:"lat_p99_us"`
+	LatMaxUS    int     `json:"lat_max_us"`
+	Era         uint64  `json:"era"`
+	Seq         uint64  `json:"seq"`
+	DeadNodes   int     `json:"dead_nodes"`
+	ChurnEvents int     `json:"churn_events"`
+	FaultEvents int     `json:"fault_events"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	info := s.e.Info()
+	up := time.Since(s.start).Seconds()
+	served := s.e.Served()
+	s.mu.Lock()
+	m := Metrics{
+		UptimeSec:   up,
+		Decisions:   served,
+		Batches:     s.batches,
+		LatMeanUS:   s.lat.Mean(),
+		LatP50US:    s.lat.Quantile(0.5),
+		LatP99US:    s.lat.Quantile(0.99),
+		LatMaxUS:    s.lat.Max(),
+		Era:         info.Era,
+		Seq:         info.Seq,
+		DeadNodes:   info.DeadNodes,
+		ChurnEvents: info.ChurnEvents,
+		FaultEvents: info.FaultEvents,
+	}
+	s.mu.Unlock()
+	if up > 0 {
+		m.QPS = float64(served) / up
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(&m)
+}

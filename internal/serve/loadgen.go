@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// LoadgenResult summarizes one in-process load generation run.
+type LoadgenResult struct {
+	Decisions int           // placement decisions answered
+	Conns     int           // concurrent decision contexts
+	Batch     int           // queries per PlaceBatch call
+	Elapsed   time.Duration // wall time of the serving phase only
+	PerSec    float64       // decisions per second
+	MaxLoad   int           // largest per-context node load observed
+}
+
+// Loadgen drives the engine from inside the process: total queries,
+// pre-generated from the published era's request streams (generation is
+// excluded from the timing), served through conns concurrent pooled
+// contexts in batches of batch. This is the ≥10⁶ decisions/s headline
+// path — no sockets, no JSON, just the snapshot engine under real
+// goroutine concurrency.
+func Loadgen(e *Engine, total, conns, batch int) LoadgenResult {
+	if conns < 1 {
+		conns = 1
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	w := e.World()
+	snap := e.Snapshot()
+	pairs := make([]Pair, total)
+	origins := make([]int32, total)
+	files := make([]int32, total)
+	originRNG, fileRNG := w.RequestStream(snap.Era())
+	dist.RequestBatch(originRNG, fileRNG, w.N(), snap.FileSampler(), origins, files)
+	for i := range pairs {
+		pairs[i] = Pair{User: origins[i], File: files[i]}
+	}
+
+	var next atomic.Int64
+	var maxLoad atomic.Int64
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := e.Get()
+			out := make([]Decision, batch)
+			for {
+				base := int(next.Add(int64(batch))) - batch
+				if base >= total {
+					break
+				}
+				n := min(batch, total-base)
+				ctx.PlaceBatch(pairs[base:base+n], out[:n])
+			}
+			for {
+				cur := maxLoad.Load()
+				if int64(ctx.MaxLoad()) <= cur || maxLoad.CompareAndSwap(cur, int64(ctx.MaxLoad())) {
+					break
+				}
+			}
+			e.Put(ctx)
+		}()
+	}
+	wg.Wait()
+	el := time.Since(t0)
+	res := LoadgenResult{
+		Decisions: total,
+		Conns:     conns,
+		Batch:     batch,
+		Elapsed:   el,
+		MaxLoad:   int(maxLoad.Load()),
+	}
+	if el > 0 {
+		res.PerSec = float64(total) / el.Seconds()
+	}
+	return res
+}

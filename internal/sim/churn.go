@@ -4,6 +4,8 @@ import (
 	"math/rand/v2"
 
 	"repro/internal/cache"
+	"repro/internal/dist"
+	"repro/internal/workload"
 )
 
 // The churn phase of the request pipeline (§VI dynamic regime): after a
@@ -27,24 +29,71 @@ import (
 // Result.ChurnSkipped. Either way |S_j| and the cached-file set are
 // invariant (see cache.ReplaceReplica), and the whole path is
 // allocation-free at steady state.
+//
+// The schedule state lives in churnState so that both owners of mutable
+// placement state can drive it: the batch engine's Runner (per trial,
+// applied at pipeline-chunk barriers) and the served mode's
+// sim.Snapshot (long-running, applied by the daemon's mutator between
+// request batches — see snapshot.go and internal/serve).
+
+// churnState is the churn-schedule state of one mutable placement: the
+// fractional event credit carried between applications and, for
+// ChurnDrift, the shot-noise drifter plus the arenas its conditioned
+// file sampler is rebuilt into (CustomBuilder reuse keeps the churn
+// path allocation-free).
+type churnState struct {
+	credit       float64
+	drift        *workload.Drifter
+	driftWeights []float64
+	driftCond    *dist.CustomBuilder
+	driftPop     dist.Popularity
+}
+
+// init allocates the drift machinery when the world's churn mode needs
+// it. Call once per owner; reset() rewinds the state between trials.
+func (cs *churnState) init(w *World) {
+	if w.cfg.Churn == ChurnDrift {
+		cs.drift = workload.NewDrifter(w.cfg.K, churnDriftBoost, churnDriftBirth, churnDriftLifespan)
+		cs.driftWeights = make([]float64, w.cfg.K)
+		cs.driftCond = dist.NewCustomBuilder(w.cfg.K)
+	}
+}
+
+// reset rewinds the schedule to its trial-start state: zero credit, a
+// fresh drifter epoch, and a sampler rebuild forced on first use.
+func (cs *churnState) reset() {
+	cs.credit = 0
+	if cs.drift != nil {
+		cs.drift.Reset()
+		cs.driftPop = nil
+	}
+}
 
 // churnChunk applies the churn schedule accrued by one accounted chunk
 // of c requests. The engine skips the call after the trial's final
 // chunk (no request would ever observe the mutation).
 func (r *Runner) churnChunk(p *cache.Placement, rng *rand.Rand, c int, res *Result) {
-	w := r.w
-	r.churnCredit += w.cfg.ChurnRate * float64(c)
-	if r.drift != nil {
-		// One drift tick per chunk; rebuild the conditioned migration
-		// sampler only when the active set actually changed.
-		r.drift.Step(rng)
-		if r.driftPop == nil || r.drift.Dirty() {
-			r.rebuildDriftSampler(p)
+	r.churnSt.apply(r.w, p, rng, c, &res.ChurnEvents, &res.ChurnSkipped)
+}
+
+// apply executes the schedule accrued by c elapsed requests against p,
+// counting applied migrations into events and infeasible drops into
+// skipped. One drifter tick per call: under the batch engine a call is
+// one pipeline chunk, under the served mode one mutator batch — each is
+// its own seeded process over the shared event mechanics.
+func (cs *churnState) apply(w *World, p *cache.Placement, rng *rand.Rand, c int, events, skipped *int) {
+	cs.credit += w.cfg.ChurnRate * float64(c)
+	if cs.drift != nil {
+		// One drift tick per application; rebuild the conditioned
+		// migration sampler only when the active set actually changed.
+		cs.drift.Step(rng)
+		if cs.driftPop == nil || cs.drift.Dirty() {
+			cs.rebuildDriftSampler(p)
 		}
 	}
 	n := w.g.N()
 	slots := p.ReplicaSlots()
-	for ; r.churnCredit >= 1; r.churnCredit-- {
+	for ; cs.credit >= 1; cs.credit-- {
 		var j int
 		var u int32
 		switch w.cfg.Churn {
@@ -56,19 +105,19 @@ func (r *Runner) churnChunk(p *cache.Placement, rng *rand.Rand, c int, res *Resu
 			// Files are hit ∝ drifting popularity (restricted to cached
 			// files, so a replica always exists); the migrated replica
 			// is uniform within S_j.
-			j = r.driftPop.Sample(rng)
+			j = cs.driftPop.Sample(rng)
 			reps := p.Replicas(j)
 			u = reps[rng.IntN(len(reps))]
 		}
 		v := int32(rng.IntN(n))
 		if v == u || p.Has(int(v), j) {
-			res.ChurnSkipped++
+			*skipped++
 			continue
 		}
 		if p.T(int(v)) < w.cfg.M {
 			// Destination has a free slot: plain migration.
 			p.ReplaceReplica(j, u, v)
-			res.ChurnEvents++
+			*events++
 			continue
 		}
 		// Destination full — the common shape when K ≫ M, where almost
@@ -79,24 +128,24 @@ func (r *Runner) churnChunk(p *cache.Placement, rng *rand.Rand, c int, res *Resu
 		vFiles := p.NodeFiles(int(v))
 		j2 := int(vFiles[rng.IntN(len(vFiles))])
 		if !p.CanSwap(j, u, j2, v) {
-			res.ChurnSkipped++
+			*skipped++
 			continue
 		}
 		p.SwapReplicas(j, u, j2, v)
-		res.ChurnEvents++
+		*events++
 	}
 }
 
 // rebuildDriftSampler reconditions the ChurnDrift file sampler on the
 // drifter's instantaneous weights masked to the placement's cached
-// files, rebuilt into the runner's CustomBuilder arenas (bit-identical
+// files, rebuilt into the state's CustomBuilder arenas (bit-identical
 // to a fresh dist.NewCustom, allocation-free after the first build).
-func (r *Runner) rebuildDriftSampler(p *cache.Placement) {
-	clear(r.driftWeights)
-	dw := r.drift.Weights()
+func (cs *churnState) rebuildDriftSampler(p *cache.Placement) {
+	clear(cs.driftWeights)
+	dw := cs.drift.Weights()
 	for _, j := range p.CachedFiles() {
-		r.driftWeights[j] = dw[j]
+		cs.driftWeights[j] = dw[j]
 	}
-	r.driftPop = r.driftCond.Build(r.driftWeights, "churn-drift")
-	r.drift.ClearDirty()
+	cs.driftPop = cs.driftCond.Build(cs.driftWeights, "churn-drift")
+	cs.drift.ClearDirty()
 }

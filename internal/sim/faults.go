@@ -3,6 +3,7 @@ package sim
 import (
 	"math/rand/v2"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 )
 
@@ -34,6 +35,21 @@ import (
 // region) or nothing to revive is dropped and counted in
 // Result.FaultSkipped. Load carried by a node at the instant it crashes
 // is accounted into Result.DeadLoad — work the failure stranded.
+//
+// Like churn, the schedule state lives in faultState so both owners of
+// mutable liveness state can drive it: the batch engine's Runner and
+// the served mode's sim.Snapshot (see snapshot.go, internal/serve).
+
+// faultState is the fault-schedule state of one liveness mask: the
+// fractional crash and recovery event credits carried between
+// applications.
+type faultState struct {
+	crashCredit   float64
+	recoverCredit float64
+}
+
+// reset zeroes both event credits (the trial-start state).
+func (fs *faultState) reset() { fs.crashCredit, fs.recoverCredit = 0, 0 }
 
 // armFaults prepares the fault engine for one trial: reset the mask to
 // all-live, zero the event credits, bind the mask into the strategy and
@@ -44,27 +60,16 @@ func (r *Runner) armFaults(strat core.Strategy, t uint64) *rand.Rand {
 		return nil
 	}
 	r.live.Reset()
-	r.faultCredit, r.recoverCredit = 0, 0
+	r.faultSt.reset()
 	strat.(core.LivenessAware).SetLiveness(r.live)
 	return r.fault.stream(r.w.faultSrc, t)
 }
 
 // faultChunk applies the crash/recovery schedule accrued by one
-// accounted chunk of c requests, reading node loads through loads for
-// the DeadLoad account. The engine skips the call after the trial's
-// final chunk (no request would ever observe the mutation). Crash
-// events drain before recovery events within a chunk — the order is
-// part of the seeded process frozen by the fault golden matrix.
+// accounted chunk of c requests. The engine skips the call after the
+// trial's final chunk (no request would ever observe the mutation).
 func (r *Runner) faultChunk(rng *rand.Rand, c int, res *Result) {
-	w := r.w
-	r.faultCredit += w.cfg.FaultRate * float64(c)
-	r.recoverCredit += w.cfg.RecoverRate * float64(c)
-	for ; r.faultCredit >= 1; r.faultCredit-- {
-		r.crashEvent(rng, res)
-	}
-	for ; r.recoverCredit >= 1; r.recoverCredit-- {
-		r.recoverEvent(rng, res)
-	}
+	r.faultSt.apply(r.w, r.live, rng, c, r.nodeLoad, res)
 }
 
 // nodeLoad reads node u's current load through the engine's active view:
@@ -77,28 +82,49 @@ func (r *Runner) nodeLoad(u int32) int {
 	return r.loads.Load(int(u))
 }
 
+// apply executes the schedule accrued by c elapsed requests against lv,
+// counting outcomes into res. Crash events drain before recovery events
+// within an application — the order is part of the seeded process
+// frozen by the fault golden matrix. loadOf reads a node's load at its
+// crash instant for the DeadLoad account; nil skips that account (the
+// served mode, where loads live in per-connection contexts rather than
+// one engine vector).
+func (fs *faultState) apply(w *World, lv *cache.Liveness, rng *rand.Rand, c int, loadOf func(int32) int, res *Result) {
+	fs.crashCredit += w.cfg.FaultRate * float64(c)
+	fs.recoverCredit += w.cfg.RecoverRate * float64(c)
+	for ; fs.crashCredit >= 1; fs.crashCredit-- {
+		crashEvent(w, lv, rng, loadOf, res)
+	}
+	for ; fs.recoverCredit >= 1; fs.recoverCredit-- {
+		recoverEvent(w, lv, rng, res)
+	}
+}
+
 // crashEvent executes one crash: a uniform live node (FaultsCrash) or
 // every live node of a uniform region (FaultsRegional).
-func (r *Runner) crashEvent(rng *rand.Rand, res *Result) {
-	lv := r.live
-	switch r.w.cfg.Faults {
+func crashEvent(w *World, lv *cache.Liveness, rng *rand.Rand, loadOf func(int32) int, res *Result) {
+	switch w.cfg.Faults {
 	case FaultsCrash:
 		if lv.LiveCount() == 0 {
 			res.FaultSkipped++
 			return
 		}
 		u := lv.LiveAt(rng.IntN(lv.LiveCount()))
-		res.DeadLoad += r.nodeLoad(u)
+		if loadOf != nil {
+			res.DeadLoad += loadOf(u)
+		}
 		lv.Kill(u)
 		res.FaultEvents++
 	case FaultsRegional:
-		tl := r.w.regionTiling
+		tl := w.regionTiling
 		tid := int32(rng.IntN(tl.Tiles()))
 		members := tl.Order()[tl.OrderOff()[tid]:tl.OrderOff()[tid+1]]
 		killed := false
 		for _, u := range members {
 			if lv.Live(int(u)) {
-				res.DeadLoad += r.nodeLoad(u)
+				if loadOf != nil {
+					res.DeadLoad += loadOf(u)
+				}
 				lv.Kill(u)
 				killed = true
 			}
@@ -113,9 +139,8 @@ func (r *Runner) crashEvent(rng *rand.Rand, res *Result) {
 
 // recoverEvent executes one recovery: a uniform dead node (FaultsCrash)
 // or every dead node of a uniform region (FaultsRegional).
-func (r *Runner) recoverEvent(rng *rand.Rand, res *Result) {
-	lv := r.live
-	switch r.w.cfg.Faults {
+func recoverEvent(w *World, lv *cache.Liveness, rng *rand.Rand, res *Result) {
+	switch w.cfg.Faults {
 	case FaultsCrash:
 		if lv.DeadCount() == 0 {
 			res.FaultSkipped++
@@ -124,7 +149,7 @@ func (r *Runner) recoverEvent(rng *rand.Rand, res *Result) {
 		lv.Revive(lv.DeadAt(rng.IntN(lv.DeadCount())))
 		res.RecoverEvents++
 	case FaultsRegional:
-		tl := r.w.regionTiling
+		tl := w.regionTiling
 		tid := int32(rng.IntN(tl.Tiles()))
 		members := tl.Order()[tl.OrderOff()[tid]:tl.OrderOff()[tid+1]]
 		revived := false

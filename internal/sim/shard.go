@@ -173,11 +173,7 @@ func (r *Runner) runTrialSharded(t uint64) Result {
 	var churnRNG *rand.Rand
 	if w.cfg.Churn != ChurnNone {
 		churnRNG = r.churn.stream(w.churnSrc, t)
-		r.churnCredit = 0
-		if r.drift != nil {
-			r.drift.Reset()
-			r.driftPop = nil
-		}
+		r.churnSt.reset()
 	}
 	// Faults compose with sharding: one shared mask, bound into every
 	// shard's strategy, mutated only by the coordinator at the chunk
@@ -186,7 +182,7 @@ func (r *Runner) runTrialSharded(t uint64) Result {
 	var faultRNG *rand.Rand
 	if r.live != nil {
 		r.live.Reset()
-		r.faultCredit, r.recoverCredit = 0, 0
+		r.faultSt.reset()
 		for s := range r.shards {
 			r.shards[s].strat.(core.LivenessAware).SetLiveness(r.live)
 		}

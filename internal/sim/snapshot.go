@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// Served-mode extraction: a Snapshot packages the mutable state a trial
+// threads through one Runner — placement, tile index, liveness mask and
+// the churn/fault event schedules — into a value that can live outside
+// the batch engine. The serving daemon (internal/serve, cmd/cachesimd)
+// compiles one Snapshot per era, applies mutation batches to it through
+// Advance, and publishes immutable Clones to concurrent readers through
+// an atomic pointer; the batch engine and the daemon therefore run the
+// same placement, strategy and mutation code over the same state, which
+// is what lets a quiesced daemon answer bit-identically to RunTrial
+// (pinned by the serve golden tests).
+//
+// A Snapshot is NOT safe for concurrent mutation: exactly one goroutine
+// may call Advance. The read-only views (Placement, Liveness, sampler
+// and strategies built over them) are safe for any number of concurrent
+// readers as long as nobody calls Advance on that same value — which is
+// the copy-on-write discipline internal/serve enforces by mutating a
+// private shadow and publishing Clones.
+
+// Snapshot is one era of served placement state: a churn-capable
+// placement (with tile index when the world is indexed), the liveness
+// mask (when faults are configured) and the event schedules that evolve
+// them.
+type Snapshot struct {
+	w    *World
+	p    *cache.Placement
+	live *cache.Liveness
+	pop  dist.Popularity
+
+	era uint64 // trial index the placement was compiled from
+	seq uint64 // mutation batches applied since compile
+
+	churnSt  churnState
+	faultSt  faultState
+	churnRNG *rand.Rand
+	faultRNG *rand.Rand
+
+	ev Result // churn/fault event counters accumulated by Advance
+}
+
+// Snapshot compiles the served state for trial era t: the placement is
+// built from the same per-trial placement stream as RunTrial(t) — so
+// its content (replica sets, tile index, cached-file set) is identical
+// to the batch trial's — but in the mutable churn layout, ready for
+// in-place migration. The churn and fault schedules are armed from the
+// same per-trial streams the batch engine would consume, so the served
+// mutation sequence is the trial's seeded process applied at the
+// daemon's own batch cadence.
+func (w *World) Snapshot(t uint64) *Snapshot {
+	placer := cache.NewPlacer(w.g.N(), w.cfg.M, w.cfg.K)
+	// Churn layout first: EnableTiles keys its sort policy off it.
+	placer.EnableChurn()
+	if w.tiling != nil {
+		placer.EnableTiles(w.tiling)
+	}
+	// One reseedRand per role: stream() reuses its receiver's generator,
+	// so sharing one across roles would alias every stream to the last
+	// reseed.
+	var placeRR, churnRR, faultRR reseedRand
+	s := &Snapshot{
+		w:   w,
+		p:   placer.Place(w.placeProfile, w.cfg.PlacementMode, placeRR.stream(w.placeSrc, t)),
+		era: t,
+	}
+	if w.cfg.MissPolicy == MissResample && s.p.UncachedCount() > 0 {
+		// Condition the request file stream on the cached set — invariant
+		// under churn (ReplaceReplica/SwapReplicas preserve it), so one
+		// build at compile time serves the whole era.
+		weights := make([]float64, w.cfg.K)
+		for _, j := range s.p.CachedFiles() {
+			weights[j] = w.pop.P(int(j))
+		}
+		s.pop = dist.NewCustom(weights, w.condName)
+	} else {
+		s.pop = w.pop
+	}
+	if w.cfg.Churn != ChurnNone {
+		s.churnSt.init(w)
+		s.churnSt.reset()
+		s.churnRNG = churnRR.stream(w.churnSrc, t)
+	}
+	if w.cfg.Faults != FaultsNone {
+		s.live = cache.NewLiveness(w.g.N())
+		if w.tiling != nil {
+			s.live.BindTiling(w.tiling)
+		}
+		s.faultSt.reset()
+		s.faultRNG = faultRR.stream(w.faultSrc, t)
+	}
+	return s
+}
+
+// Placement returns the snapshot's placement view (replica CSR + tile
+// index). Read-only for everyone except the single Advance caller.
+func (s *Snapshot) Placement() *cache.Placement { return s.p }
+
+// Liveness returns the snapshot's node liveness mask, nil when the
+// world has no fault process (all nodes permanently live).
+func (s *Snapshot) Liveness() *cache.Liveness { return s.live }
+
+// World returns the world the snapshot was compiled from.
+func (s *Snapshot) World() *World { return s.w }
+
+// Era returns the trial index the snapshot's placement was compiled
+// from; Seq returns the number of mutation batches applied since.
+// Together they name the exact state version a decision observed.
+func (s *Snapshot) Era() uint64 { return s.era }
+
+// Seq returns the number of Advance batches applied since compile.
+func (s *Snapshot) Seq() uint64 { return s.seq }
+
+// FileSampler returns the request file distribution conditioned for
+// this snapshot's placement under the world's miss policy — the served
+// twin of the batch engine's per-trial sampler. Safe for concurrent
+// use with a caller-owned RNG.
+func (s *Snapshot) FileSampler() dist.Popularity { return s.pop }
+
+// NewStrategy builds a fresh strategy instance bound to this snapshot's
+// placement and liveness mask. Each concurrent decision context needs
+// its own instance (strategies carry per-call scratch); rebinding an
+// existing instance to a newer snapshot is cheaper — see Bind.
+func (s *Snapshot) NewStrategy() core.Strategy {
+	strat := buildStrategy(s.w.cfg, s.w.g, s.p)
+	if s.live != nil {
+		strat.(core.LivenessAware).SetLiveness(s.live)
+	}
+	return strat
+}
+
+// Bind rebinds an existing strategy instance (built by NewStrategy on
+// an older snapshot of the same world) to this snapshot's state. All
+// built-in strategies support rebinding; a non-rebindable custom
+// strategy falls back to a fresh build. Returns the bound instance.
+func (s *Snapshot) Bind(strat core.Strategy) core.Strategy {
+	rb, ok := strat.(core.Rebindable)
+	if !ok {
+		return s.NewStrategy()
+	}
+	rb.Rebind(s.p)
+	if la, ok := strat.(core.LivenessAware); ok {
+		if s.live != nil {
+			la.SetLiveness(s.live)
+		} else {
+			la.SetLiveness(nil)
+		}
+	}
+	return strat
+}
+
+// Advance applies the churn and fault schedules accrued by c served
+// requests, mutating the snapshot in place — fault events first, then
+// churn, the batch engine's chunk-barrier order. One call is the served
+// analogue of one pipeline chunk boundary. Only the single mutator
+// goroutine may call Advance; concurrent readers must hold a Clone.
+func (s *Snapshot) Advance(c int) {
+	if s.faultRNG != nil {
+		s.faultSt.apply(s.w, s.live, s.faultRNG, c, nil, &s.ev)
+	}
+	if s.churnRNG != nil {
+		s.churnSt.apply(s.w, s.p, s.churnRNG, c, &s.ev.ChurnEvents, &s.ev.ChurnSkipped)
+	}
+	s.seq++
+}
+
+// Clone returns an immutable deep copy of the snapshot's state for
+// publication: placement, tile index and liveness are independently
+// owned, so later Advance calls on s never disturb readers of the
+// clone. The clone carries the era/seq stamp and event counters but no
+// schedule state — it cannot be Advanced, only read.
+func (s *Snapshot) Clone() *Snapshot {
+	c := &Snapshot{
+		w:   s.w,
+		p:   s.p.Clone(),
+		pop: s.pop,
+		era: s.era,
+		seq: s.seq,
+		ev:  s.ev,
+	}
+	if s.live != nil {
+		c.live = s.live.Clone()
+	}
+	return c
+}
+
+// Info returns the snapshot's era diagnostics — the state-version stamp
+// and mutation counters batch and served modes both report.
+func (s *Snapshot) Info() SnapshotInfo {
+	info := SnapshotInfo{
+		Era:           s.era,
+		Seq:           s.seq,
+		Uncached:      s.p.UncachedCount(),
+		ChurnEvents:   s.ev.ChurnEvents,
+		ChurnSkipped:  s.ev.ChurnSkipped,
+		FaultEvents:   s.ev.FaultEvents,
+		RecoverEvents: s.ev.RecoverEvents,
+		FaultSkipped:  s.ev.FaultSkipped,
+	}
+	if s.live != nil {
+		info.DeadNodes = s.live.DeadCount()
+	}
+	return info
+}
+
+// SnapshotInfo is the placement-era diagnostic stamp shared by the
+// batch engine (cachesim -v) and the served mode (/metrics): which era
+// the active placement was compiled from, how many mutation batches it
+// has absorbed, and the cumulative event counts behind them.
+type SnapshotInfo struct {
+	Era           uint64 // trial index the placement was compiled from
+	Seq           uint64 // mutation batches applied since compile
+	Uncached      int    // library files with zero replicas this era
+	ChurnEvents   int    // replica migrations applied
+	ChurnSkipped  int    // infeasible churn events dropped
+	FaultEvents   int    // crash events applied
+	RecoverEvents int    // recovery events applied
+	FaultSkipped  int    // infeasible fault events dropped
+	DeadNodes     int    // currently dead nodes
+}
+
+// String renders the stamp in the compact era=…/seq=… form both
+// cachesim -v and the daemon logs use.
+func (i SnapshotInfo) String() string {
+	return fmt.Sprintf("era=%d seq=%d uncached=%d churn=%d/%d faults=%d/%d/%d dead=%d",
+		i.Era, i.Seq, i.Uncached, i.ChurnEvents, i.ChurnSkipped,
+		i.FaultEvents, i.RecoverEvents, i.FaultSkipped, i.DeadNodes)
+}
+
+// RequestStream returns the split-discipline request generation streams
+// for trial era t: a dedicated origin RNG and file RNG, exactly the
+// streams RunTrial(t) consumes under StreamsSplit. The served loadgen
+// replays them through dist.RequestBatch, which draws all origins then
+// all files per batch — so any batch partition of the same request
+// count consumes the streams identically (the chunk-partition
+// invariance the golden pin leans on).
+func (w *World) RequestStream(t uint64) (originRNG, fileRNG *rand.Rand) {
+	var ro, rf reseedRand
+	return ro.stream(w.originSrc, t), rf.stream(w.fileSrc, t)
+}
+
+// AssignSeed returns the per-trial seed pair of the split-discipline
+// assignment stream — the stream the strategies draw candidate picks
+// and tie breaks from in RunTrial(t). A single served context seeded
+// with it reproduces the batch trial's decision sequence exactly.
+func (w *World) AssignSeed(t uint64) (uint64, uint64) {
+	return w.assignSrc.StreamSeed(t)
+}
+
+// Requests returns the per-trial request count the world was compiled
+// for (Config.Requests, defaulted to one request per server).
+func (w *World) Requests() int { return w.nReq }

@@ -12,7 +12,6 @@ import (
 	"repro/internal/replication"
 	"repro/internal/routing"
 	"repro/internal/stats"
-	"repro/internal/workload"
 	"repro/internal/xrand"
 )
 
@@ -244,23 +243,16 @@ type Runner struct {
 
 	place, req, origin, file, assign, churn, fault reseedRand
 
-	// Churn state (Config.Churn != ChurnNone): the fractional event
-	// credit carried between chunks and, for ChurnDrift, the shot-noise
-	// drifter plus the arenas its conditioned file sampler is rebuilt
-	// into (CustomBuilder reuse keeps the churn path allocation-free).
-	churnCredit  float64
-	drift        *workload.Drifter
-	driftWeights []float64
-	driftCond    *dist.CustomBuilder
-	driftPop     dist.Popularity
+	// Churn state (Config.Churn != ChurnNone): the event schedule and
+	// drift machinery, shared with the served mode's snapshots (see
+	// churn.go).
+	churnSt churnState
 
 	// Fault state (Config.Faults != FaultsNone): the node liveness mask
-	// bound into the strategies, plus the fractional crash/recover event
-	// credits carried between chunks (FaultRate and RecoverRate expected
-	// events per request, exact over the trial; see faults.go).
-	live          *cache.Liveness
-	faultCredit   float64
-	recoverCredit float64
+	// bound into the strategies, plus the crash/recover event schedule
+	// shared with the served mode's snapshots (see faults.go).
+	live    *cache.Liveness
+	faultSt faultState
 
 	// Chunk buffers of the request pipeline (len = min(chunk, requests)).
 	origins []int32
@@ -360,11 +352,7 @@ func (w *World) NewRunner() *Runner {
 	}
 	if w.cfg.Churn != ChurnNone {
 		placer.EnableChurn()
-		if w.cfg.Churn == ChurnDrift {
-			r.drift = workload.NewDrifter(w.cfg.K, churnDriftBoost, churnDriftBirth, churnDriftLifespan)
-			r.driftWeights = make([]float64, w.cfg.K)
-			r.driftCond = dist.NewCustomBuilder(w.cfg.K)
-		}
+		r.churnSt.init(w)
 	}
 	if w.cfg.Faults != FaultsNone {
 		r.live = cache.NewLiveness(w.g.N())
@@ -469,11 +457,7 @@ func (r *Runner) RunTrial(t uint64) Result {
 	var churnRNG *rand.Rand
 	if w.cfg.Churn != ChurnNone {
 		churnRNG = r.churn.stream(w.churnSrc, t)
-		r.churnCredit = 0
-		if r.drift != nil {
-			r.drift.Reset()
-			r.driftPop = nil
-		}
+		r.churnSt.reset()
 	}
 	// Likewise the fault stream (namespace 7): FaultsNone never derives
 	// it, never binds a mask, and stays bit-identical to the fault-free

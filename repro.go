@@ -360,6 +360,14 @@ type (
 	// Runner executes trials of one World through reusable per-worker
 	// scratch. Not safe for concurrent use; create one per worker.
 	Runner = sim.Runner
+	// Snapshot is one era of served placement state — the mutable trial
+	// state extracted from the Runner so the daemon (cmd/cachesimd,
+	// internal/serve) can evolve and publish it copy-on-write. Built by
+	// World.Snapshot.
+	Snapshot = sim.Snapshot
+	// SnapshotInfo is the placement-era diagnostic stamp shared by batch
+	// (cachesim -v) and served (/metrics) modes.
+	SnapshotInfo = sim.SnapshotInfo
 )
 
 // Compile validates cfg and builds its trial-invariant state once. Use
