@@ -5,6 +5,11 @@
 // programmatically:
 //
 //	go test -bench . -benchtime=1x -run '^$' ./... | benchjson > BENCH_$SHA.json
+//
+// Malformed or truncated benchmark lines — an interrupted run, an OOM
+// kill mid-line, interleaved panic output — are skipped with a warning
+// on stderr rather than aborting: a perf archive with one corrupt line
+// should still yield every other result.
 package main
 
 import (
@@ -28,7 +33,7 @@ type Entry struct {
 }
 
 func main() {
-	out, err := parse(os.Stdin)
+	out, err := parse(os.Stdin, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -43,48 +48,62 @@ func main() {
 
 // parse extracts benchmark lines ("BenchmarkX-8   10   123 ns/op ...")
 // from bench output, ignoring everything else (pkg headers, PASS/ok).
+// A line that looks like a benchmark but carries an unparseable value
+// is skipped with a warning to warnw — only I/O errors abort the run.
 // Duplicate names (the same benchmark across packages or repeated runs)
 // get "#2", "#3", ... suffixes, mirroring benchstat's disambiguation.
-func parse(r io.Reader) (map[string]Entry, error) {
+func parse(r io.Reader, warnw io.Writer) (map[string]Entry, error) {
 	out := map[string]Entry{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineno := 0
 	for sc.Scan() {
+		lineno++
 		f := strings.Fields(sc.Text())
-		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		if len(f) == 0 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		if len(f) < 4 {
+			warn(warnw, lineno, "truncated benchmark line", sc.Text())
 			continue
 		}
 		iters, err := strconv.ParseInt(f[1], 10, 64)
 		if err != nil {
+			warn(warnw, lineno, "bad iteration count", sc.Text())
 			continue
 		}
 		e := Entry{Iterations: iters}
-		seen := false
-		for i := 2; i+1 < len(f); i += 2 {
+		seen, bad := false, false
+		for i := 2; i+1 < len(f) && !bad; i += 2 {
 			val, unit := f[i], f[i+1]
 			switch unit {
 			case "ns/op":
 				if e.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
-					return nil, fmt.Errorf("bad ns/op %q: %v", val, err)
+					warn(warnw, lineno, "bad ns/op value", sc.Text())
+					bad = true
 				}
 				seen = true
 			case "B/op":
 				b, err := strconv.ParseInt(val, 10, 64)
 				if err != nil {
-					return nil, fmt.Errorf("bad B/op %q: %v", val, err)
+					warn(warnw, lineno, "bad B/op value", sc.Text())
+					bad = true
+					break
 				}
 				e.BytesPerOp = &b
 			case "allocs/op":
 				a, err := strconv.ParseInt(val, 10, 64)
 				if err != nil {
-					return nil, fmt.Errorf("bad allocs/op %q: %v", val, err)
+					warn(warnw, lineno, "bad allocs/op value", sc.Text())
+					bad = true
+					break
 				}
 				e.AllocsPerOp = &a
 			default:
 				e.Extra = append(e.Extra, val+" "+unit)
 			}
 		}
-		if !seen {
+		if bad || !seen {
 			continue
 		}
 		name := f[0]
@@ -107,6 +126,18 @@ func parse(r io.Reader) (map[string]Entry, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// warn reports one skipped line.
+func warn(w io.Writer, lineno int, why, line string) {
+	if w == nil {
+		return
+	}
+	const maxEcho = 120
+	if len(line) > maxEcho {
+		line = line[:maxEcho] + "…"
+	}
+	fmt.Fprintf(w, "benchjson: line %d skipped (%s): %s\n", lineno, why, line)
 }
 
 // sortedNames is kept for tests (stable listing of parsed benchmarks).

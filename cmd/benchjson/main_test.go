@@ -21,9 +21,13 @@ ok  	repro/internal/dist	1.2s
 `
 
 func TestParseBenchOutput(t *testing.T) {
-	got, err := parse(strings.NewReader(sample))
+	var warns strings.Builder
+	got, err := parse(strings.NewReader(sample), &warns)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if warns.Len() != 0 {
+		t.Fatalf("clean input produced warnings: %s", warns.String())
 	}
 	want := []string{
 		"BenchmarkCompile", "BenchmarkRunTrial", "BenchmarkRunTrial#2",
@@ -49,11 +53,83 @@ func TestParseBenchOutput(t *testing.T) {
 }
 
 func TestParseIgnoresGarbage(t *testing.T) {
-	got, err := parse(strings.NewReader("hello\nBenchmarkBroken abc def\nok\n"))
+	got, err := parse(strings.NewReader("hello\nBenchmarkBroken abc def\nok\n"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 0 {
 		t.Fatalf("parsed garbage: %v", got)
+	}
+}
+
+// TestParseSkipsMalformedLines pins the resilience contract: corrupt
+// benchmark lines are skipped with a warning, and every healthy line —
+// before or after the corruption — still lands in the output. An
+// aborted archive job used to lose the whole run to one torn line.
+func TestParseSkipsMalformedLines(t *testing.T) {
+	for name, tc := range map[string]struct {
+		in        string
+		wantNames string
+		wantWarns int
+	}{
+		"bad ns/op value": {
+			in:        "BenchmarkGood-8 100 5 ns/op\nBenchmarkBad-8 100 xx ns/op\nBenchmarkAlso-8 10 7 ns/op\n",
+			wantNames: "BenchmarkAlso,BenchmarkGood",
+			wantWarns: 1,
+		},
+		"bad iteration count": {
+			in:        "BenchmarkBad-8 abc 5 ns/op extra junk\nBenchmarkGood-8 100 5 ns/op\n",
+			wantNames: "BenchmarkGood",
+			wantWarns: 1,
+		},
+		"truncated line": {
+			in:        "BenchmarkCut-8 100\nBenchmarkGood-8 100 5 ns/op\n",
+			wantNames: "BenchmarkGood",
+			wantWarns: 1,
+		},
+		"bad B/op": {
+			in:        "BenchmarkBad-8 100 5 ns/op ?? B/op\nBenchmarkGood-8 100 5 ns/op 16 B/op\n",
+			wantNames: "BenchmarkGood",
+			wantWarns: 1,
+		},
+		"bad allocs/op": {
+			in:        "BenchmarkBad-8 100 5 ns/op 16 B/op NaNish allocs/op\nBenchmarkGood-8 100 5 ns/op\n",
+			wantNames: "BenchmarkGood",
+			wantWarns: 1,
+		},
+		"interleaved panic output": {
+			in: "BenchmarkGood-8 100 5 ns/op\npanic: runtime error: index out of range\n" +
+				"goroutine 1 [running]:\nBenchmarkLater-8 10 9 ns/op\n",
+			wantNames: "BenchmarkGood,BenchmarkLater",
+			wantWarns: 0,
+		},
+		"no metrics at all": {
+			in:        "BenchmarkOdd-8 100 5 widgets/op\nBenchmarkGood-8 100 5 ns/op\n",
+			wantNames: "BenchmarkGood",
+			wantWarns: 0, // well-formed line, just no ns/op: silently not a result
+		},
+	} {
+		var warns strings.Builder
+		got, err := parse(strings.NewReader(tc.in), &warns)
+		if err != nil {
+			t.Errorf("%s: parse aborted: %v", name, err)
+			continue
+		}
+		if names := strings.Join(sortedNames(got), ","); names != tc.wantNames {
+			t.Errorf("%s: parsed %q, want %q", name, names, tc.wantNames)
+		}
+		if n := strings.Count(warns.String(), "benchjson: line"); n != tc.wantWarns {
+			t.Errorf("%s: %d warnings, want %d:\n%s", name, n, tc.wantWarns, warns.String())
+		}
+	}
+}
+
+// TestWarnTruncatesEcho keeps warning lines bounded even when the
+// corrupt input line is enormous.
+func TestWarnTruncatesEcho(t *testing.T) {
+	var w strings.Builder
+	warn(&w, 3, "test", strings.Repeat("x", 10_000))
+	if len(w.String()) > 200 {
+		t.Fatalf("warning echoes %d bytes", len(w.String()))
 	}
 }

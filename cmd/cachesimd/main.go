@@ -96,7 +96,7 @@ func main() {
 		return
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: serve.NewServer(e)}
+	srv := newHTTPServer(*addr, serve.NewServer(e))
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
 	done := make(chan struct{})
@@ -126,6 +126,21 @@ func main() {
 	}
 	<-done
 	fmt.Printf("cachesimd: drained after %d decisions (%s)\n", e.Served(), e.Info())
+}
+
+// newHTTPServer wraps the daemon handler in a server with connection
+// deadlines: a client that stalls mid-header, trickles a body, or never
+// reads its response is cut off instead of pinning a connection (and
+// its pooled decision context) forever.
+func newHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 }
 
 // buildConfig translates CLI flags into a served simulation

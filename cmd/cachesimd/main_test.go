@@ -47,3 +47,19 @@ func TestBuildConfig(t *testing.T) {
 		}
 	}
 }
+
+// TestNewHTTPServerHardened pins the daemon's connection deadlines: a
+// peer that stalls mid-header, trickles a body or never reads its
+// response must be cut off, not hold a connection forever.
+func TestNewHTTPServerHardened(t *testing.T) {
+	srv := newHTTPServer(":9999", nil)
+	if srv.Addr != ":9999" {
+		t.Fatalf("addr %q", srv.Addr)
+	}
+	if srv.ReadHeaderTimeout <= 0 || srv.ReadTimeout <= 0 || srv.WriteTimeout <= 0 || srv.IdleTimeout <= 0 {
+		t.Fatalf("missing connection deadlines: %+v", srv)
+	}
+	if srv.ReadHeaderTimeout > srv.ReadTimeout {
+		t.Fatalf("header deadline %v exceeds read deadline %v", srv.ReadHeaderTimeout, srv.ReadTimeout)
+	}
+}

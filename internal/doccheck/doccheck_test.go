@@ -29,6 +29,7 @@ var checkedDirs = []string{
 	"internal/grid",
 	"internal/serve",
 	"internal/sim",
+	"internal/sweep",
 }
 
 // TestExportedIdentifiersDocumented walks every non-test file of the

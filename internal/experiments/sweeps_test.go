@@ -1,0 +1,50 @@
+package experiments
+
+import "testing"
+
+// TestSweepPresetsParse guarantees every registered preset is a valid,
+// fully expandable spec — a preset that fails to parse would otherwise
+// only be discovered when someone launches a fleet.
+func TestSweepPresetsParse(t *testing.T) {
+	if len(SweepIDs()) == 0 {
+		t.Fatal("no sweep presets registered")
+	}
+	for _, id := range SweepIDs() {
+		spec, err := SweepSpec(id)
+		if err != nil {
+			t.Errorf("preset %q: %v", id, err)
+			continue
+		}
+		if spec.Name != id {
+			t.Errorf("preset %q names itself %q", id, spec.Name)
+		}
+		shards, err := spec.Shards()
+		if err != nil {
+			t.Errorf("preset %q shards: %v", id, err)
+			continue
+		}
+		if len(shards) == 0 {
+			t.Errorf("preset %q expands to no shards", id)
+		}
+	}
+	if _, err := SweepSpec("nope"); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+// TestSmokePresetIsQuick pins the CI contract: the smoke preset must
+// stay small enough to run twice (chaos + direct) in the sweep-smoke
+// job.
+func TestSmokePresetIsQuick(t *testing.T) {
+	spec, err := SweepSpec("smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := spec.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if work := len(pts) * spec.Trials; work > 64 {
+		t.Fatalf("smoke preset grew to %d point-trials; keep it CI-sized", work)
+	}
+}

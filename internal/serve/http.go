@@ -2,6 +2,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -66,9 +67,21 @@ type PlaceResponse struct {
 // how stale a batch's pinned snapshot can get).
 const maxBatch = 1 << 16
 
+// maxPlaceBody caps the /v1/place request body before JSON decoding
+// starts: a full maxBatch of pairs is well under 4MB, so anything
+// larger is a hostile or broken client, answered 413 instead of being
+// buffered.
+const maxPlaceBody = 4 << 20
+
 func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxPlaceBody)
 	var req PlaceRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("request body exceeds %d bytes", maxPlaceBody), http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return
 	}

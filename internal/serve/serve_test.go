@@ -294,3 +294,38 @@ func TestLoadgen(t *testing.T) {
 		})
 	}
 }
+
+// TestServeHTTPBodyCap pins the /v1/place body cap: an oversized
+// request is cut off with 413 before it is buffered, and the server
+// keeps answering normal batches afterwards.
+func TestServeHTTPBodyCap(t *testing.T) {
+	w := compile(t, quiescedConfig())
+	e := New(w, 0)
+	defer e.Close()
+	srv := httptest.NewServer(NewServer(e))
+	defer srv.Close()
+
+	// One JSON document longer than the cap: the padding is legal
+	// whitespace between tokens, so only the byte cap can stop it.
+	huge := append([]byte(`{"pairs":[`), bytes.Repeat([]byte(" "), maxPlaceBody+1)...)
+	huge = append(huge, []byte(`{"u":0,"f":1}]}`)...)
+	resp, err := http.Post(srv.URL+"/v1/place", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+
+	// A body under the cap still works on the same server.
+	body, _ := json.Marshal(PlaceRequest{Pairs: []Pair{{User: 0, File: 1}}})
+	resp, err = http.Post(srv.URL+"/v1/place", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("normal batch after 413: status %d", resp.StatusCode)
+	}
+}

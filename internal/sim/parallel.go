@@ -43,8 +43,7 @@ func Run(cfg Config, trials, workers int) (Aggregate, error) {
 	partials := make([]Aggregate, workers)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
-		lo := trials * i / workers
-		hi := trials * (i + 1) / workers
+		lo, hi := BlockRange(trials, workers, i)
 		wg.Add(1)
 		go func(i, lo, hi int) {
 			defer wg.Done()
@@ -94,11 +93,8 @@ func RunSeries(cfgs []Config, trials, workers int) ([]Aggregate, error) {
 	tasks := make([]task, 0, len(cfgs)*blocks)
 	for i := range cfgs {
 		for b := 0; b < blocks; b++ {
-			tasks = append(tasks, task{
-				point: i, block: b,
-				lo: trials * b / blocks,
-				hi: trials * (b + 1) / blocks,
-			})
+			lo, hi := BlockRange(trials, blocks, b)
+			tasks = append(tasks, task{point: i, block: b, lo: lo, hi: hi})
 		}
 	}
 

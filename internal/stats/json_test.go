@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestSummaryJSONRoundTrip pins the exact-transport property: a Summary
+// survives JSON encode/decode with every moment bit-identical, so
+// distributed merges over the wire equal in-process merges.
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	var s Summary
+	// Irrational-ish values with no short decimal form.
+	for _, v := range []float64{math.Pi, math.Sqrt2, 1.0 / 3.0, 1e-300, 6.02214076e23} {
+		s.Add(v)
+	}
+
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Summary
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("summary mutated in JSON transit:\n got %+v\nwant %+v", got, s)
+	}
+
+	// Merging decoded halves must equal merging the originals.
+	var a, c Summary
+	a.Add(math.Pi)
+	a.Add(1.0 / 3.0)
+	c.Add(math.Sqrt2)
+	ab, _ := json.Marshal(a)
+	cb, _ := json.Marshal(c)
+	var a2, c2 Summary
+	if err := json.Unmarshal(ab, &a2); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(cb, &c2); err != nil {
+		t.Fatal(err)
+	}
+	direct, wire := a, a2
+	direct.Merge(c)
+	wire.Merge(c2)
+	if direct != wire {
+		t.Fatalf("merge after transit diverges:\n got %+v\nwant %+v", wire, direct)
+	}
+}
+
+// TestSummaryUnmarshalRejectsNegativeN checks the decoder refuses a
+// corrupt count instead of producing a Summary that underflows later.
+func TestSummaryUnmarshalRejectsNegativeN(t *testing.T) {
+	var s Summary
+	if err := json.Unmarshal([]byte(`{"n":-3,"mean":0,"m2":0,"min":0,"max":0}`), &s); err == nil {
+		t.Fatal("negative n accepted")
+	}
+}
+
+// TestSummaryZeroRoundTrip checks the zero value (no samples) transits
+// cleanly — empty regime summaries (churn off, faults off) are common.
+func TestSummaryZeroRoundTrip(t *testing.T) {
+	var s Summary
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Summary
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != s {
+		t.Fatalf("zero summary mutated: got %+v", got)
+	}
+}

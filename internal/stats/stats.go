@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -60,6 +61,38 @@ func (s *Summary) Merge(o Summary) {
 	if o.max > s.max {
 		s.max = o.max
 	}
+}
+
+// summaryWire is the JSON shape of a Summary. The moments travel as raw
+// float64 values: encoding/json emits the shortest representation that
+// round-trips exactly, so a marshal/unmarshal cycle is bit-faithful —
+// the property the sweep coordinator's merge relies on to keep
+// distributed artifacts byte-identical to single-host runs.
+type summaryWire struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// MarshalJSON implements json.Marshaler, exposing the streaming moments.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	return json.Marshal(summaryWire{N: s.n, Mean: s.mean, M2: s.m2, Min: s.min, Max: s.max})
+}
+
+// UnmarshalJSON implements json.Unmarshaler; it restores the exact
+// moments written by MarshalJSON.
+func (s *Summary) UnmarshalJSON(b []byte) error {
+	var w summaryWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	if w.N < 0 {
+		return fmt.Errorf("stats: summary with negative n %d", w.N)
+	}
+	*s = Summary{n: w.N, mean: w.Mean, m2: w.M2, min: w.Min, max: w.Max}
+	return nil
 }
 
 // N returns the number of observations.

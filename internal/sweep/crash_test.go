@@ -1,0 +1,143 @@
+package sweep
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestCrashRecoveryBitIdentical is the end-to-end robustness pin: a
+// sweep that suffers a chaos-killed worker mid-shard AND a coordinator
+// kill-and-restart mid-run must still produce artifacts byte-identical
+// to a direct single-process RunSeries run.
+func TestCrashRecoveryBitIdentical(t *testing.T) {
+	spec := mustParse(t, `{
+	  "name": "crash",
+	  "trials": 8,
+	  "blocks": 4,
+	  "seed": 13,
+	  "base": {"side": 6, "k": 20, "m": 2},
+	  "axes": [{"field": "strategy", "values": ["nearest", "two-choices"]}]
+	}`)
+	journal := filepath.Join(t.TempDir(), "crash.journal")
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	// Phase 1: coordinator with journal; one worker that chaos-crashes
+	// mid-way through its first shard, abandoning the lease, then keeps
+	// working. Run until some — but not all — shards are done, then kill
+	// the coordinator (no drain: close the server and journal cold).
+	c1, err := NewCoordinator(spec, journal, CoordinatorOptions{LeaseTTL: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := httptest.NewServer(c1.Handler())
+	wA := NewWorker(srv1.URL, WorkerOptions{
+		ID:          "crasher",
+		Poll:        5 * time.Millisecond,
+		BackoffBase: 5 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+		Chaos:       &Chaos{KillProb: 1, Kills: 1, Seed: 21},
+	})
+	ctxA, cancelA := context.WithCancel(ctx)
+	doneA := make(chan error, 1)
+	go func() { doneA <- wA.Run(ctxA) }()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for c1.Status().Done < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("phase 1 stalled: %+v", c1.Status())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	midway := c1.Status()
+	srv1.Close() // coordinator "crashes": connections drop cold
+	cancelA()
+	<-doneA
+	c1.Close()
+	if wA.Abandoned < 1 {
+		t.Fatalf("chaos kill did not fire: abandoned=%d", wA.Abandoned)
+	}
+	if midway.Done >= midway.Total {
+		t.Fatalf("phase 1 finished everything (%+v); crash not mid-run", midway)
+	}
+
+	// Phase 2: restart the coordinator from the journal. Every
+	// acknowledged shard must already be done; the rest is finished by
+	// two fresh workers that both double-deliver every completion (both,
+	// so the duplicate path is exercised no matter which worker wins the
+	// lease race for the remaining shards — phase 1 guarantees at least
+	// one is left).
+	c2, err := NewCoordinator(spec, journal, CoordinatorOptions{LeaseTTL: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if st := c2.Status(); st.Done < midway.Done {
+		t.Fatalf("journal lost work: recovered %d done, had %d", st.Done, midway.Done)
+	}
+	srv2 := httptest.NewServer(c2.Handler())
+	defer srv2.Close()
+	workers := []*Worker{
+		NewWorker(srv2.URL, WorkerOptions{
+			ID: "dup-a", Poll: 5 * time.Millisecond,
+			BackoffBase: 5 * time.Millisecond, BackoffMax: 50 * time.Millisecond,
+			Chaos: &Chaos{DupProb: 1, Seed: 31},
+		}),
+		NewWorker(srv2.URL, WorkerOptions{
+			ID: "dup-b", Poll: 5 * time.Millisecond,
+			BackoffBase: 5 * time.Millisecond, BackoffMax: 50 * time.Millisecond,
+			Chaos: &Chaos{DupProb: 1, Seed: 47},
+		}),
+	}
+	errs := make(chan error, len(workers))
+	for _, w := range workers {
+		go func(w *Worker) { errs <- w.Run(ctx) }(w)
+	}
+	if err := c2.Wait(ctx); err != nil {
+		t.Fatalf("sweep failed: %v", err)
+	}
+	for range workers {
+		if err := <-errs; err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+	if st := c2.Status(); st.Done != st.Total {
+		t.Fatalf("not all shards done: %+v", st)
+	}
+	if c2.Dupes() < 1 {
+		t.Fatalf("duplicate-delivery path not exercised: dupes=%d", c2.Dupes())
+	}
+
+	// The verdict: merged artifacts must equal the direct run's bytes.
+	merged, err := c2.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := RunDirect(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotCSV, wantCSV, gotJSON, wantJSON strings.Builder
+	if err := WriteCSV(&gotCSV, spec, merged); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&wantCSV, spec, direct); err != nil {
+		t.Fatal(err)
+	}
+	if gotCSV.String() != wantCSV.String() {
+		t.Fatalf("CSV artifact not byte-identical to direct run:\n got: %s\nwant: %s", gotCSV.String(), wantCSV.String())
+	}
+	if err := WriteJSON(&gotJSON, spec, merged); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&wantJSON, spec, direct); err != nil {
+		t.Fatal(err)
+	}
+	if gotJSON.String() != wantJSON.String() {
+		t.Fatal("JSON artifact not byte-identical to direct run")
+	}
+}

@@ -1,0 +1,139 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// journalRecord is one line of the append-only coordinator journal.
+// The first line of a journal is a spec record naming the sweep; every
+// later line is a done record carrying one verified shard result.
+type journalRecord struct {
+	T    string       `json:"t"`              // "spec" or "done"
+	Hash string       `json:"hash,omitempty"` // spec hash (t = "spec")
+	Res  *ShardResult `json:"res,omitempty"`  // completed shard (t = "done")
+}
+
+// Journal is the coordinator's append-only completion log: one JSON
+// line per finished shard, fsync'd before the completion is
+// acknowledged, so a killed coordinator restarted over the same file
+// resumes with every acknowledged shard already done. Records are
+// self-verifying (ShardResult.Hash), so a torn tail line — the only
+// damage an append-only file can suffer from a crash — is detected and
+// dropped on recovery instead of poisoning the merge.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// OpenJournal opens (or creates) the journal at path for the sweep
+// identified by specHash. A fresh file is stamped with a spec record; an
+// existing file is recovered: its spec record must match specHash (a
+// journal from a different sweep is refused), and every verifiable done
+// record is returned so the coordinator can mark those shards complete.
+// Unparseable or unverifiable lines (torn writes) are counted in
+// dropped, not treated as fatal.
+func OpenJournal(path, specHash string) (j *Journal, recovered []ShardResult, dropped int, err error) {
+	if _, serr := os.Stat(path); serr == nil {
+		recovered, dropped, err = recoverJournal(path, specHash)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		f, ferr := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if ferr != nil {
+			return nil, nil, 0, ferr
+		}
+		return &Journal{f: f, path: path}, recovered, dropped, nil
+	}
+	f, ferr := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if ferr != nil {
+		return nil, nil, 0, ferr
+	}
+	j = &Journal{f: f, path: path}
+	if err := j.append(journalRecord{T: "spec", Hash: specHash}); err != nil {
+		f.Close()
+		return nil, nil, 0, err
+	}
+	return j, nil, 0, nil
+}
+
+// recoverJournal replays an existing journal file.
+func recoverJournal(path, specHash string) (results []ShardResult, dropped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sawSpec := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if json.Unmarshal(line, &rec) != nil {
+			dropped++ // torn write
+			continue
+		}
+		switch rec.T {
+		case "spec":
+			if rec.Hash != specHash {
+				return nil, 0, fmt.Errorf("sweep: journal %s belongs to spec %.12s, not %.12s (remove it to start over)",
+					path, rec.Hash, specHash)
+			}
+			sawSpec = true
+		case "done":
+			if rec.Res == nil || rec.Res.Verify() != nil {
+				dropped++
+				continue
+			}
+			results = append(results, *rec.Res)
+		default:
+			dropped++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	if !sawSpec {
+		return nil, 0, fmt.Errorf("sweep: journal %s has no spec record (remove it to start over)", path)
+	}
+	return results, dropped, nil
+}
+
+// append writes one record and forces it to stable storage.
+func (j *Journal) append(rec journalRecord) error {
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(b); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Append records one completed shard. It returns only after the record
+// is fsync'd — the durability point the completion ack depends on.
+func (j *Journal) Append(res ShardResult) error {
+	return j.append(journalRecord{T: "done", Res: &res})
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close releases the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}

@@ -1,0 +1,156 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+)
+
+// specJSON is the canonical small test spec: 2×2 grid, 6 trials in 3
+// blocks.
+const specJSON = `{
+  "name": "unit",
+  "trials": 6,
+  "blocks": 3,
+  "seed": 99,
+  "base": {"side": 10, "k": 40, "m": 2},
+  "axes": [
+    {"field": "strategy", "values": ["nearest", "two-choices"]},
+    {"field": "radius", "values": [2, 3]}
+  ]
+}`
+
+func mustParse(t *testing.T, src string) *Spec {
+	t.Helper()
+	s, err := ParseSpec([]byte(src))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	return s
+}
+
+func TestParseSpecExpansion(t *testing.T) {
+	s := mustParse(t, specJSON)
+	pts, err := s.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("got %d points, want 4", len(pts))
+	}
+	// Last axis fastest: strategy=nearest holds while radius cycles.
+	wantLabels := []string{
+		"strategy=nearest,radius=2", "strategy=nearest,radius=3",
+		"strategy=two-choices,radius=2", "strategy=two-choices,radius=3",
+	}
+	for i, p := range pts {
+		if p.Label != wantLabels[i] {
+			t.Fatalf("point %d label %q, want %q", i, p.Label, wantLabels[i])
+		}
+		if p.Index != i {
+			t.Fatalf("point %d has Index %d", i, p.Index)
+		}
+		if p.Config.Seed != 99 {
+			t.Fatalf("point %d seed %d, want 99", i, p.Config.Seed)
+		}
+	}
+
+	shards, err := s.Shards()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 4*3 {
+		t.Fatalf("got %d shards, want 12", len(shards))
+	}
+	seen := map[string]bool{}
+	for i, sh := range shards {
+		if seen[sh.Key] {
+			t.Fatalf("duplicate shard key %.12s", sh.Key)
+		}
+		seen[sh.Key] = true
+		if sh.Point != i/3 || sh.Block != i%3 {
+			t.Fatalf("shard %d is (point %d, block %d), want (%d, %d)", i, sh.Point, sh.Block, i/3, i%3)
+		}
+		if sh.Lo >= sh.Hi || sh.Hi > 6 {
+			t.Fatalf("shard %d range [%d,%d) out of bounds", i, sh.Lo, sh.Hi)
+		}
+	}
+}
+
+func TestParseSpecDefaults(t *testing.T) {
+	s := mustParse(t, `{"trials": 4, "base": {"side": 5, "k": 10, "m": 1}}`)
+	if s.Name != "sweep" || s.Seed != 2017 || s.Blocks != 4 {
+		t.Fatalf("defaults wrong: name=%q seed=%d blocks=%d", s.Name, s.Seed, s.Blocks)
+	}
+	pts, err := s.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].Label != "base" {
+		t.Fatalf("axis-free spec: %d points, label %q", len(pts), pts[0].Label)
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	for name, src := range map[string]string{
+		"empty":          ``,
+		"junk":           `not json`,
+		"trailing":       `{"trials":1,"base":{"side":5,"k":10,"m":1}} extra`,
+		"unknown field":  `{"trials":1,"nope":1,"base":{"side":5,"k":10,"m":1}}`,
+		"no trials":      `{"base":{"side":5,"k":10,"m":1}}`,
+		"huge trials":    `{"trials":9999999,"base":{"side":5,"k":10,"m":1}}`,
+		"blocks>trials":  `{"trials":2,"blocks":5,"base":{"side":5,"k":10,"m":1}}`,
+		"neg blocks":     `{"trials":2,"blocks":-1,"base":{"side":5,"k":10,"m":1}}`,
+		"huge side":      `{"trials":1,"base":{"side":99999,"k":10,"m":1}}`,
+		"zero k":         `{"trials":1,"base":{"side":5,"k":0,"m":1}}`,
+		"unknown axis":   `{"trials":1,"base":{"side":5,"k":10,"m":1},"axes":[{"field":"zzz","values":[1]}]}`,
+		"dup axis":       `{"trials":1,"base":{"side":5,"k":10,"m":1},"axes":[{"field":"m","values":[1]},{"field":"m","values":[2]}]}`,
+		"empty axis":     `{"trials":1,"base":{"side":5,"k":10,"m":1},"axes":[{"field":"m","values":[]}]}`,
+		"type mismatch":  `{"trials":1,"base":{"side":5,"k":10,"m":1},"axes":[{"field":"m","values":["two"]}]}`,
+		"frac int":       `{"trials":1,"base":{"side":5,"k":10,"m":1},"axes":[{"field":"m","values":[1.5]}]}`,
+		"bad strategy":   `{"trials":1,"base":{"side":5,"k":10,"m":1,"strategy":"wat"}}`,
+		"engine invalid": `{"trials":1,"base":{"side":5,"k":10,"m":1,"workers":3,"chunk":7}}`,
+	} {
+		if _, err := ParseSpec([]byte(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSpecHashStable(t *testing.T) {
+	a := mustParse(t, specJSON)
+	b := mustParse(t, specJSON)
+	if a.Hash() != b.Hash() {
+		t.Fatal("same spec hashes differently")
+	}
+	c := mustParse(t, strings.Replace(specJSON, `"seed": 99`, `"seed": 100`, 1))
+	if a.Hash() == c.Hash() {
+		t.Fatal("different specs share a hash")
+	}
+
+	// Shard keys must be stable too: same spec, same keys.
+	sa, _ := a.Shards()
+	sb, _ := b.Shards()
+	for i := range sa {
+		if sa[i].Key != sb[i].Key {
+			t.Fatalf("shard %d key unstable", i)
+		}
+	}
+}
+
+func TestGridCapEnforced(t *testing.T) {
+	// 3 axes × 1024 values each = 2^30 points ≫ maxPoints.
+	var vals strings.Builder
+	for i := 0; i < 1024; i++ {
+		if i > 0 {
+			vals.WriteByte(',')
+		}
+		vals.WriteString("1")
+	}
+	src := `{"trials":1,"base":{"side":5,"k":10,"m":1},"axes":[` +
+		`{"field":"m","values":[` + vals.String() + `]},` +
+		`{"field":"k","values":[` + vals.String() + `]},` +
+		`{"field":"side","values":[` + vals.String() + `]}]}`
+	if _, err := ParseSpec([]byte(src)); err == nil {
+		t.Fatal("10^9-point grid accepted")
+	}
+}
