@@ -39,6 +39,18 @@
 //	cachesim -side 25 -k 2000 -m 4 -strategy two-choices -radius 6 \
 //	    -requests 8192 -miss escalate -faults crash -fault-rate 0.05 \
 //	    -recover-rate 0.02 -trials 20
+//
+// Heterogeneous nodes — per-node cache sizes M_u and service capacities
+// C_u drawn from a profile (-hetero capacity), with the two-choices
+// comparison weighted to load/C_u; -hetero arrival additionally starts
+// ~25% of nodes vacant and lets them join mid-trial (needs
+// -arrival-rate and -miss escalate or origin):
+//
+//	cachesim -side 25 -k 2000 -m 4 -strategy two-choices -radius 6 \
+//	    -requests 8192 -hetero capacity -profile two-tier -trials 20
+//	cachesim -side 25 -k 2000 -m 4 -strategy two-choices -radius 6 \
+//	    -requests 8192 -miss escalate -hetero arrival -profile power-law \
+//	    -arrival-rate 0.01 -trials 20
 package main
 
 import (
@@ -70,6 +82,9 @@ func main() {
 		faults   = flag.String("faults", "none", "node fault injection: none, crash (uniform) or regional (tile-aligned failure domains)")
 		faultRt  = flag.Float64("fault-rate", 0, "expected crash events per request (required with -faults; needs -miss escalate or origin)")
 		recovRt  = flag.Float64("recover-rate", 0, "expected recovery events per request (0 = permanent crashes)")
+		hetero   = flag.String("hetero", "none", "node heterogeneity: none, capacity (per-node M_u/C_u) or arrival (plus mid-trial joins)")
+		profile  = flag.String("profile", "uniform", "per-node cache-size profile under -hetero: uniform, two-tier or power-law")
+		arrRt    = flag.Float64("arrival-rate", 0, "expected node arrivals per request (required with -hetero arrival)")
 		shardW   = flag.Int("shard-workers", 0, "intra-trial shard workers P (0 = sequential engine; needs -streams split)")
 		shard    = flag.String("shard", "deterministic", "sharded load visibility: deterministic (bit-identical across P) or racy (shared atomic loads)")
 		chunk    = flag.Int("chunk", 0, "request-pipeline chunk size (0 = engine default; multiple of 64 under -shard-workers)")
@@ -80,7 +95,7 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg, err := buildConfig(*side, *topo, *k, *m, *gamma, *strategy, *radius, *choices, *requests, *miss, *metrics, *streams, *index, *churn, *churnRt, *faults, *faultRt, *recovRt, *shardW, *shard, *chunk, *seed)
+	cfg, err := buildConfig(*side, *topo, *k, *m, *gamma, *strategy, *radius, *choices, *requests, *miss, *metrics, *streams, *index, *churn, *churnRt, *faults, *faultRt, *recovRt, *hetero, *profile, *arrRt, *shardW, *shard, *chunk, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cachesim:", err)
 		os.Exit(2)
@@ -106,6 +121,10 @@ func main() {
 			agg.FaultSkipped.String(), agg.DeadNodes.String())
 		fmt.Printf("avail:     %s of requests served in-network; retried %s; stranded load %s\n",
 			agg.Availability.String(), agg.Retried.String(), agg.DeadLoad.String())
+	}
+	if cfg.Hetero == repro.HeteroArrival {
+		fmt.Printf("arrivals:  %s joins/trial (skipped %s); vacant at end %s\n",
+			agg.ArrivalEvents.String(), agg.ArrivalSkipped.String(), agg.Vacant.String())
 	}
 	switch cfg.Metrics {
 	case repro.MetricsLinks:
@@ -147,6 +166,7 @@ func printEras(cfg repro.Config, trials int) {
 func buildConfig(side int, topo string, k, m int, gamma float64, strategy string,
 	radius, choices, requests int, miss, metrics, streams, index, churn string,
 	churnRate float64, faults string, faultRate, recoverRate float64,
+	hetero, profile string, arrivalRate float64,
 	shardWorkers int, shard string, chunk int, seed uint64) (repro.Config, error) {
 	var cfg repro.Config
 	tp, err := grid.ParseTopology(topo)
@@ -177,6 +197,14 @@ func buildConfig(side int, topo string, k, m int, gamma float64, strategy string
 	if err != nil {
 		return cfg, err
 	}
+	hm, err := repro.ParseHetero(hetero)
+	if err != nil {
+		return cfg, err
+	}
+	pf, err := repro.ParseProfile(profile)
+	if err != nil {
+		return cfg, err
+	}
 	mp, err := repro.ParseMiss(miss)
 	if err != nil {
 		return cfg, err
@@ -186,6 +214,7 @@ func buildConfig(side int, topo string, k, m int, gamma float64, strategy string
 		Requests: requests, MissPolicy: mp, Metrics: mm, Streams: sd, Index: ix,
 		Churn: ch, ChurnRate: churnRate,
 		Faults: fm, FaultRate: faultRate, RecoverRate: recoverRate,
+		Hetero: hm, Profile: pf, ArrivalRate: arrivalRate,
 		Workers: shardWorkers, Shard: sh, Chunk: chunk, Seed: seed,
 	}
 	if gamma > 0 {

@@ -64,6 +64,9 @@ func main() {
 		faults   = flag.String("faults", "none", "node fault injection: none, crash or regional")
 		faultRt  = flag.Float64("fault-rate", 0, "expected crash events per served request")
 		recovRt  = flag.Float64("recover-rate", 0, "expected recovery events per served request")
+		hetero   = flag.String("hetero", "none", "node heterogeneity: none, capacity or arrival")
+		profile  = flag.String("profile", "uniform", "per-node cache-size profile under -hetero: uniform, two-tier or power-law")
+		arrRt    = flag.Float64("arrival-rate", 0, "expected node arrivals per served request (with -hetero arrival)")
 		seed     = flag.Uint64("seed", 2017, "root random seed")
 		era      = flag.Uint64("era", 0, "initial placement era (trial index under -seed)")
 		addr     = flag.String("addr", ":8080", "HTTP listen address")
@@ -74,7 +77,8 @@ func main() {
 	flag.Parse()
 
 	cfg, err := buildConfig(*side, *topo, *k, *m, *gamma, *strategy, *radius, *choices,
-		*requests, *miss, *index, *churn, *churnRt, *faults, *faultRt, *recovRt, *seed)
+		*requests, *miss, *index, *churn, *churnRt, *faults, *faultRt, *recovRt,
+		*hetero, *profile, *arrRt, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cachesimd:", err)
 		os.Exit(2)
@@ -150,7 +154,8 @@ func newHTTPServer(addr string, h http.Handler) *http.Server {
 // bit-identical to the batch engine's split-stream trials.
 func buildConfig(side int, topo string, k, m int, gamma float64, strategy string,
 	radius, choices, requests int, miss, index, churn string, churnRate float64,
-	faults string, faultRate, recoverRate float64, seed uint64) (repro.Config, error) {
+	faults string, faultRate, recoverRate float64,
+	hetero, profile string, arrivalRate float64, seed uint64) (repro.Config, error) {
 	var cfg repro.Config
 	tp, err := grid.ParseTopology(topo)
 	if err != nil {
@@ -168,6 +173,14 @@ func buildConfig(side int, topo string, k, m int, gamma float64, strategy string
 	if err != nil {
 		return cfg, err
 	}
+	hm, err := repro.ParseHetero(hetero)
+	if err != nil {
+		return cfg, err
+	}
+	pf, err := repro.ParseProfile(profile)
+	if err != nil {
+		return cfg, err
+	}
 	mp, err := repro.ParseMiss(miss)
 	if err != nil {
 		return cfg, err
@@ -177,6 +190,7 @@ func buildConfig(side int, topo string, k, m int, gamma float64, strategy string
 		Requests: requests, MissPolicy: mp, Streams: repro.StreamsSplit, Index: ix,
 		Churn: ch, ChurnRate: churnRate,
 		Faults: fm, FaultRate: faultRate, RecoverRate: recoverRate,
+		Hetero: hm, Profile: pf, ArrivalRate: arrivalRate,
 		Seed: seed,
 	}
 	if gamma > 0 {

@@ -77,6 +77,15 @@ type Placement struct {
 	// cachedFiles lists files with at least one replica, ascending.
 	cachedFiles []int32
 
+	// caps and capOff carry heterogeneous per-node capacities
+	// (Placer.EnableHetero): caps[u] = M_u, and capOff is its prefix sum
+	// (length n+1), which replaces the uniform M stride on mutable
+	// layouts — node u's slab lives at files[capOff[u]:capOff[u]+lens[u]].
+	// Both are nil on homogeneous placements, keeping the u*m arithmetic
+	// byte-for-byte untouched.
+	caps   []int32
+	capOff []int32
+
 	// tix is the optional spatial replica index (see TileIndex), built
 	// only by Placers with EnableTiles.
 	tix *TileIndex
@@ -89,10 +98,28 @@ type Placement struct {
 // nodeSpan returns node u's file list under either forward layout.
 func (p *Placement) nodeSpan(u int) []int32 {
 	if p.lens != nil {
-		base := u * p.m
+		base := p.slabBase(u)
 		return p.files[base : base+int(p.lens[u])]
 	}
 	return p.files[p.nodeOff[u]:p.nodeOff[u+1]]
+}
+
+// Cap returns node u's slot capacity M_u — M on homogeneous placements,
+// the per-node capacity installed by Placer.SetHetero otherwise.
+func (p *Placement) Cap(u int) int {
+	if p.caps == nil {
+		return p.m
+	}
+	return int(p.caps[u])
+}
+
+// slabBase returns where node u's forward slab (and draw span) starts:
+// the uniform u·M stride, or the capacity prefix under EnableHetero.
+func (p *Placement) slabBase(u int) int {
+	if p.capOff == nil {
+		return u * p.m
+	}
+	return int(p.capOff[u])
 }
 
 // TileIndex returns the spatial replica index, or nil when the placement
@@ -127,6 +154,77 @@ type Placer struct {
 	// M-stride forward slabs and a capacity-padded tile directory, so
 	// ReplaceReplica can splice every structure in place.
 	mutable bool
+
+	// Heterogeneity state (EnableHetero/SetHetero): per-trial node
+	// capacities up to maxCap and an optional vacancy mask.
+	hetero   bool
+	maxCap   int
+	totalCap int    // Σ caps of the current trial
+	vacant   []bool // borrowed per trial; vacant[u] ⇒ u is placed empty
+}
+
+// slotCap returns the per-node slab capacity every arena must budget
+// for: maxCap under EnableHetero, the uniform M otherwise.
+func (pl *Placer) slotCap() int {
+	if pl.hetero {
+		return pl.maxCap
+	}
+	return pl.m
+}
+
+// vacantAt reports whether node u sits out the current trial's build.
+func (pl *Placer) vacantAt(u int) bool { return pl.vacant != nil && pl.vacant[u] }
+
+// EnableHetero prepares the Placer for heterogeneous per-node capacities
+// of up to maxCap slots: the draw, forward and replica arenas are
+// re-budgeted for the worst case, and every subsequent Place call must
+// be preceded by SetHetero installing that trial's capacity vector. It
+// must be called before EnableChurn and EnableTiles, which size their
+// arenas off the slot capacity, and panics otherwise.
+func (pl *Placer) EnableHetero(maxCap int) {
+	if pl.mutable || pl.tiling != nil {
+		panic("cache: EnableHetero must precede EnableChurn/EnableTiles")
+	}
+	if maxCap < pl.m {
+		panic(fmt.Sprintf("cache: EnableHetero maxCap %d below M=%d", maxCap, pl.m))
+	}
+	if pl.hetero {
+		return
+	}
+	pl.hetero = true
+	pl.maxCap = maxCap
+	pl.draws = make([]int32, pl.n*maxCap)
+	pl.p.files = make([]int32, 0, pl.n*min(maxCap, pl.k))
+	pl.p.nodes = make([]int32, pl.n*min(maxCap, pl.k))
+	pl.p.capOff = make([]int32, pl.n+1)
+}
+
+// SetHetero installs the next trial's per-node capacities (caps[u] = M_u,
+// each in [1, maxCap]) and optional vacancy mask. Vacant nodes are
+// placed empty; under WithReplacement their batch draws are still
+// consumed (the batch is one SampleBatch call), so the placement RNG
+// schedule depends only on the capacity vector, not on which nodes are
+// vacant. Both slices are borrowed until the next SetHetero call.
+func (pl *Placer) SetHetero(caps []int32, vacant []bool) {
+	if !pl.hetero {
+		panic("cache: SetHetero without EnableHetero")
+	}
+	if len(caps) != pl.n {
+		panic(fmt.Sprintf("cache: SetHetero got %d caps for n=%d nodes", len(caps), pl.n))
+	}
+	p := &pl.p
+	p.caps = caps
+	pl.vacant = vacant
+	total := int32(0)
+	for u, c := range caps {
+		if c < 1 || int(c) > pl.maxCap {
+			panic(fmt.Sprintf("cache: SetHetero cap %d for node %d outside [1, %d]", c, u, pl.maxCap))
+		}
+		p.capOff[u] = total
+		total += c
+	}
+	p.capOff[pl.n] = total
+	pl.totalCap = int(total)
 }
 
 // EnableChurn makes every subsequent Place call build a mutable
@@ -144,7 +242,7 @@ func (pl *Placer) EnableChurn() {
 	}
 	pl.mutable = true
 	pl.noSort = false
-	pl.p.files = make([]int32, pl.n*pl.m)
+	pl.p.files = make([]int32, pl.n*pl.slotCap())
 	pl.p.lens = make([]int32, pl.n)
 }
 
@@ -196,6 +294,8 @@ func (p *Placement) clone() *Placement {
 	c.nodes = slices.Clone(p.nodes)
 	c.repOff = slices.Clone(p.repOff)
 	c.cachedFiles = slices.Clone(p.cachedFiles)
+	c.caps = slices.Clone(p.caps)
+	c.capOff = slices.Clone(p.capOff)
 	c.tix = nil // the tile index lives in the builder's arenas
 	return &c
 }
@@ -208,6 +308,9 @@ func (pl *Placer) Place(pop dist.Popularity, mode Mode, r *rand.Rand) *Placement
 	if pop.K() != pl.k {
 		panic(fmt.Sprintf("cache: placer built for k=%d, profile has k=%d", pl.k, pop.K()))
 	}
+	if pl.hetero && pl.totalCap == 0 {
+		panic("cache: Place with EnableHetero needs SetHetero first")
+	}
 	p := &pl.p
 	if !pl.mutable {
 		p.files = p.files[:0]
@@ -215,23 +318,32 @@ func (pl *Placer) Place(pop dist.Popularity, mode Mode, r *rand.Rand) *Placement
 
 	switch mode {
 	case WithReplacement:
-		// Batched sampling: all n·M slot draws in one call (identical RNG
-		// consumption to per-slot draws, see dist.BatchSampler), then a
-		// counting dedup per node via stamped marks — no per-node sort
-		// input copy, no map.
-		dist.SampleBatch(pop, r, pl.draws)
+		// Batched sampling: all slot draws (n·M, or Σ M_u under
+		// EnableHetero) in one call — identical RNG consumption to
+		// per-slot draws, see dist.BatchSampler — then a counting dedup
+		// per node via stamped marks; no per-node sort input copy, no map.
+		// The draw arena shares the slab layout (slabBase/Cap), so on the
+		// homogeneous path the spans below are exactly the historical
+		// u·M strides.
+		total := pl.n * pl.m
+		if pl.hetero {
+			total = pl.totalCap
+		}
+		dist.SampleBatch(pop, r, pl.draws[:total])
 		if pl.mutable {
 			for u := 0; u < pl.n; u++ {
 				pl.stamp++
-				base, ln := u*pl.m, 0
-				for _, f := range pl.draws[u*pl.m : (u+1)*pl.m] {
-					if pl.mark[f] != pl.stamp {
-						pl.mark[f] = pl.stamp
-						p.files[base+ln] = f
-						ln++
+				base, ln := p.slabBase(u), 0
+				if !pl.vacantAt(u) {
+					for _, f := range pl.draws[base : base+p.Cap(u)] {
+						if pl.mark[f] != pl.stamp {
+							pl.mark[f] = pl.stamp
+							p.files[base+ln] = f
+							ln++
+						}
 					}
+					slices.Sort(p.files[base : base+ln])
 				}
-				slices.Sort(p.files[base : base+ln])
 				p.lens[u] = int32(ln)
 			}
 			break
@@ -239,14 +351,17 @@ func (pl *Placer) Place(pop dist.Popularity, mode Mode, r *rand.Rand) *Placement
 		for u := 0; u < pl.n; u++ {
 			pl.stamp++
 			start := len(p.files)
-			for _, f := range pl.draws[u*pl.m : (u+1)*pl.m] {
-				if pl.mark[f] != pl.stamp {
-					pl.mark[f] = pl.stamp
-					p.files = append(p.files, f)
+			if !pl.vacantAt(u) {
+				base := p.slabBase(u)
+				for _, f := range pl.draws[base : base+p.Cap(u)] {
+					if pl.mark[f] != pl.stamp {
+						pl.mark[f] = pl.stamp
+						p.files = append(p.files, f)
+					}
 				}
-			}
-			if !pl.noSort {
-				slices.Sort(p.files[start:])
+				if !pl.noSort {
+					slices.Sort(p.files[start:])
+				}
 			}
 			p.nodeOff[u+1] = int32(len(p.files))
 		}
@@ -278,22 +393,27 @@ func (pl *Placer) placeWithoutReplacement(pop dist.Popularity, r *rand.Rand) {
 	for u := 0; u < pl.n; u++ {
 		pl.stamp++
 		start := len(p.files)
-		if pl.m >= pl.k {
+		want := p.Cap(u)
+		switch {
+		case pl.vacantAt(u):
+			// Vacant: placed empty, no draws consumed (per-node rejection
+			// sampling has no batch to burn).
+		case want >= pl.k:
 			// Degenerate: cache the whole library.
 			for j := int32(0); j < int32(pl.k); j++ {
 				p.files = append(p.files, j)
 			}
-		} else {
+		default:
 			tries := 0
-			for len(p.files)-start < pl.m {
+			for len(p.files)-start < want {
 				f := int32(pop.Sample(r))
 				if pl.mark[f] != pl.stamp {
 					pl.mark[f] = pl.stamp
 					p.files = append(p.files, f)
 				}
 				tries++
-				if tries > 64*pl.m && len(p.files)-start < pl.m {
-					pl.fillRemainder(start, r)
+				if tries > 64*want && len(p.files)-start < want {
+					pl.fillRemainder(start, want, r)
 					break
 				}
 			}
@@ -312,16 +432,20 @@ func (pl *Placer) placeWithoutReplacementMutable(pop dist.Popularity, r *rand.Ra
 	p := &pl.p
 	for u := 0; u < pl.n; u++ {
 		pl.stamp++
-		base, ln := u*pl.m, 0
-		if pl.m >= pl.k {
+		base, ln := p.slabBase(u), 0
+		want := p.Cap(u)
+		switch {
+		case pl.vacantAt(u):
+			// Vacant: placed empty, no draws consumed.
+		case want >= pl.k:
 			// Degenerate: cache the whole library.
 			for j := int32(0); j < int32(pl.k); j++ {
 				p.files[base+ln] = j
 				ln++
 			}
-		} else {
+		default:
 			tries := 0
-			for ln < pl.m {
+			for ln < want {
 				f := int32(pop.Sample(r))
 				if pl.mark[f] != pl.stamp {
 					pl.mark[f] = pl.stamp
@@ -329,8 +453,8 @@ func (pl *Placer) placeWithoutReplacementMutable(pop dist.Popularity, r *rand.Ra
 					ln++
 				}
 				tries++
-				if tries > 64*pl.m && ln < pl.m {
-					ln = pl.fillRemainderMutable(base, ln, r)
+				if tries > 64*want && ln < want {
+					ln = pl.fillRemainderMutable(base, ln, want, r)
 					break
 				}
 			}
@@ -343,7 +467,7 @@ func (pl *Placer) placeWithoutReplacementMutable(pop dist.Popularity, r *rand.Ra
 // fillRemainderMutable is fillRemainder for the churn layout: same
 // uniform completion over the unmarked files, written into the slab.
 // Returns the completed list length.
-func (pl *Placer) fillRemainderMutable(base, ln int, r *rand.Rand) int {
+func (pl *Placer) fillRemainderMutable(base, ln, want int, r *rand.Rand) int {
 	p := &pl.p
 	missing := make([]int32, 0, pl.k-ln)
 	for j := int32(0); j < int32(pl.k); j++ {
@@ -351,7 +475,7 @@ func (pl *Placer) fillRemainderMutable(base, ln int, r *rand.Rand) int {
 			missing = append(missing, j)
 		}
 	}
-	for ln < pl.m && len(missing) > 0 {
+	for ln < want && len(missing) > 0 {
 		i := r.IntN(len(missing))
 		p.files[base+ln] = missing[i]
 		ln++
@@ -363,7 +487,7 @@ func (pl *Placer) fillRemainderMutable(base, ln int, r *rand.Rand) int {
 
 // fillRemainder completes a without-replacement draw uniformly over the
 // unmarked files when popularity rejection stalls (extremely skewed Zipf).
-func (pl *Placer) fillRemainder(start int, r *rand.Rand) {
+func (pl *Placer) fillRemainder(start, want int, r *rand.Rand) {
 	p := &pl.p
 	missing := make([]int32, 0, pl.k-(len(p.files)-start))
 	for j := int32(0); j < int32(pl.k); j++ {
@@ -371,7 +495,7 @@ func (pl *Placer) fillRemainder(start int, r *rand.Rand) {
 			missing = append(missing, j)
 		}
 	}
-	for len(p.files)-start < pl.m && len(missing) > 0 {
+	for len(p.files)-start < want && len(missing) > 0 {
 		i := r.IntN(len(missing))
 		p.files = append(p.files, missing[i])
 		missing[i] = missing[len(missing)-1]

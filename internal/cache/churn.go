@@ -31,7 +31,7 @@ func (p *Placement) Mutable() bool { return p.lens != nil }
 // and has a free slot. The churn engine uses it to drop infeasible
 // events instead of panicking.
 func (p *Placement) CanReplace(j int, u, v int32) bool {
-	return u != v && p.T(int(v)) < p.m && !p.Has(int(v), j) && p.Has(int(u), j)
+	return u != v && p.T(int(v)) < p.Cap(int(v)) && !p.Has(int(v), j) && p.Has(int(u), j)
 }
 
 // ReplaceReplica migrates file j's replica from node u to node v,
@@ -54,7 +54,7 @@ func (p *Placement) ReplaceReplica(j int, u, v int32) {
 	if !p.Has(int(u), j) {
 		panic(fmt.Sprintf("cache: ReplaceReplica: node %d does not cache file %d", u, j))
 	}
-	if int(p.lens[v]) >= p.m {
+	if int(p.lens[v]) >= p.Cap(int(v)) {
 		panic(fmt.Sprintf("cache: ReplaceReplica: node %d has no free slot", v))
 	}
 	if p.Has(int(v), j) {
@@ -100,7 +100,7 @@ func (p *Placement) SwapReplicas(j int, u int32, j2 int, v int32) {
 // forwardDrop removes file f from node u's slab (sorted memmove). The
 // caller has validated membership.
 func (p *Placement) forwardDrop(u, f int32) {
-	base := int(u) * p.m
+	base := p.slabBase(int(u))
 	span := p.files[base : base+int(p.lens[u])]
 	i, _ := slices.BinarySearch(span, f)
 	copy(span[i:], span[i+1:])
@@ -110,7 +110,7 @@ func (p *Placement) forwardDrop(u, f int32) {
 // forwardAdd inserts file f into node u's slab (sorted memmove). The
 // caller has validated the free slot and non-membership.
 func (p *Placement) forwardAdd(u, f int32) {
-	base := int(u) * p.m
+	base := p.slabBase(int(u))
 	ln := int(p.lens[u])
 	span := p.files[base : base+ln+1]
 	i, _ := slices.BinarySearch(span[:ln], f)
@@ -236,7 +236,14 @@ func (ix *TileIndex) replaceReplica(j int, u, v int32) {
 		pvAbs = rv0 + int32(pv)
 	} else {
 		// New directory entry at dv; its run starts where the next run
-		// currently begins (or at the end of the valid data).
+		// currently begins (or at the end of the valid data). The padded
+		// capacity min(|S_j| at build, Tiles) admits every reachable
+		// splice while |S_j| is invariant; a grown segment (node arrival)
+		// must rebuild instead — Placer.ArriveNode re-pads — so hitting
+		// the capacity here means a caller mutated a stale-capacity index.
+		if int32(dn) >= ix.dirOff[j+1]-ix.dirOff[j] {
+			panic(fmt.Sprintf("cache: tile-index splice: file %d's directory is at capacity; a grown |S_j| needs a rebuild (Placer.ArriveNode)", j))
+		}
 		pvAbs = s1 - 1
 		if dv < dn {
 			pvAbs = starts[dv]

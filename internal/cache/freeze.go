@@ -28,6 +28,8 @@ func (p *Placement) Clone() *Placement {
 	c.nodes = slices.Clone(p.nodes)
 	c.repOff = slices.Clone(p.repOff)
 	c.cachedFiles = slices.Clone(p.cachedFiles)
+	c.caps = slices.Clone(p.caps)
+	c.capOff = slices.Clone(p.capOff)
 	if p.tix != nil {
 		c.tix = p.tix.clone(c.repOff)
 	}

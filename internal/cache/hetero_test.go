@@ -1,0 +1,337 @@
+package cache
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/grid"
+)
+
+// heteroCaps returns a mixed capacity vector in [1, maxCap] with every
+// value hit, the deterministic skew the variable-stride tests run under.
+func heteroCaps(n, maxCap int) []int32 {
+	caps := make([]int32, n)
+	for u := range caps {
+		caps[u] = int32(1 + u%maxCap)
+	}
+	return caps
+}
+
+// TestHeteroDegenerateMatchesHomogeneous: a hetero-enabled Placer whose
+// capacity vector is uniformly M must reproduce the homogeneous engine's
+// placement draw for draw — same RNG history, same node lists, same
+// replica CSR, same cached set — across placement modes and layouts.
+// The variable-stride CSR (per-node capOff offsets instead of the
+// M-stride slab) is a pure layout change.
+func TestHeteroDegenerateMatchesHomogeneous(t *testing.T) {
+	const side, m, k = 8, 3, 60
+	n := side * side
+	g := grid.New(side, grid.Torus)
+	pop := dist.NewZipf(k, 1.0)
+	caps := make([]int32, n)
+	for u := range caps {
+		caps[u] = m
+	}
+	for _, mode := range []Mode{WithReplacement, WithoutReplacement} {
+		for _, layout := range []struct {
+			name          string
+			tiles, mutate bool
+		}{
+			{name: "immutable"},
+			{name: "churn", mutate: true},
+			{name: "churn+tiles", tiles: true, mutate: true},
+		} {
+			r1 := rand.New(rand.NewPCG(7, 9))
+			r2 := rand.New(rand.NewPCG(7, 9))
+			ref := NewPlacer(n, m, k).Place(pop, mode, r1)
+			het := NewPlacer(n, m, k)
+			het.EnableHetero(m)
+			if layout.tiles {
+				het.EnableTiles(g.NewTiling(2))
+			}
+			if layout.mutate {
+				het.EnableChurn()
+			}
+			het.SetHetero(caps, nil)
+			got := het.Place(pop, mode, r2)
+			for u := 0; u < n; u++ {
+				if got.Cap(u) != m {
+					t.Fatalf("mode=%v %s node %d: Cap=%d, want %d", mode, layout.name, u, got.Cap(u), m)
+				}
+				gf := slices.Clone(got.NodeFiles(u))
+				slices.Sort(gf)
+				if !slices.Equal(ref.NodeFiles(u), gf) {
+					t.Fatalf("mode=%v %s node %d: files %v != %v", mode, layout.name, u, gf, ref.NodeFiles(u))
+				}
+			}
+			for j := 0; j < k; j++ {
+				if !slices.Equal(ref.Replicas(j), got.Replicas(j)) {
+					t.Fatalf("mode=%v %s file %d: replicas differ", mode, layout.name, j)
+				}
+			}
+			if !slices.Equal(ref.CachedFiles(), got.CachedFiles()) {
+				t.Fatalf("mode=%v %s: cached sets differ", mode, layout.name)
+			}
+		}
+	}
+}
+
+// TestHeteroStormAgainstRebuild is the variable-stride extension of
+// TestReplaceReplicaStorm: over a mixed-capacity placement with vacant
+// nodes, random legal migration/swap batches interleave with node
+// arrivals (which rebuild the replica CSR and tile index in place), and
+// after every batch each incremental structure must be set-equal to a
+// from-scratch rebuild. This is the property contract that lets churn
+// and arrivals compose mid-trial.
+func TestHeteroStormAgainstRebuild(t *testing.T) {
+	const side, m, k, maxCap = 8, 3, 60, 6
+	n := side * side
+	g := grid.New(side, grid.Torus)
+	caps := heteroCaps(n, maxCap)
+	for _, tc := range []struct {
+		name  string
+		pop   dist.Popularity
+		tiles bool
+		mode  Mode
+	}{
+		{name: "uniform/plain", pop: dist.NewUniform(k)},
+		{name: "uniform/tiles", pop: dist.NewUniform(k), tiles: true},
+		{name: "zipf/tiles", pop: dist.NewZipf(k, 1.2), tiles: true},
+		{name: "zipf/tiles/without-replacement", pop: dist.NewZipf(k, 1.2), tiles: true, mode: WithoutReplacement},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rand.New(rand.NewPCG(0xBEEF, 21))
+			pl := NewPlacer(n, m, k)
+			pl.EnableHetero(maxCap)
+			var tl *grid.Tiling
+			if tc.tiles {
+				tl = g.NewTiling(2)
+				pl.EnableTiles(tl)
+			}
+			pl.EnableChurn()
+			vacant := make([]bool, n)
+			var vacantList []int32
+			for u := 0; u < n; u += 5 {
+				vacant[u] = true
+				vacantList = append(vacantList, int32(u))
+			}
+			pl.SetHetero(caps, vacant)
+			p := pl.Place(tc.pop, tc.mode, r)
+			for _, u := range vacantList {
+				if p.T(int(u)) != 0 {
+					t.Fatalf("vacant node %d placed with %d files", u, p.T(int(u)))
+				}
+			}
+			checkAgainstRebuild(t, p, tl)
+			moved, swapped, arrived := 0, 0, 0
+			for batch := 0; batch < 24; batch++ {
+				for e := 0; e < 25; e++ {
+					slot := r.IntN(p.ReplicaSlots())
+					j, u := p.SlotReplica(slot)
+					v := int32(r.IntN(n))
+					if vacant[v] {
+						continue // the engine's vacant-destination skip
+					}
+					if p.CanReplace(j, u, v) {
+						p.ReplaceReplica(j, u, v)
+						moved++
+						continue
+					}
+					if v == u || p.Has(int(v), j) || p.T(int(v)) < p.Cap(int(v)) {
+						continue
+					}
+					vFiles := p.NodeFiles(int(v))
+					j2 := int(vFiles[r.IntN(len(vFiles))])
+					if p.CanSwap(j, u, j2, v) {
+						p.SwapReplicas(j, u, j2, v)
+						swapped++
+					}
+				}
+				if batch%4 == 3 && len(vacantList) > 0 {
+					i := r.IntN(len(vacantList))
+					u := vacantList[i]
+					vacantList[i] = vacantList[len(vacantList)-1]
+					vacantList = vacantList[:len(vacantList)-1]
+					pl.ArriveNode(u, tc.pop, tc.mode, r)
+					vacant[u] = false
+					if p.T(int(u)) == 0 {
+						t.Fatalf("arrival left node %d empty", u)
+					}
+					arrived++
+				}
+				checkAgainstRebuild(t, p, tl)
+			}
+			// Without-replacement fills every node to capacity, so plain
+			// migrations are degenerate there (see
+			// TestWithoutReplacementChurnDegenerate) — churn is swap-only.
+			if (moved == 0 && tc.mode != WithoutReplacement) || swapped == 0 || arrived < 3 {
+				t.Fatalf("storm too tame (moved=%d swapped=%d arrived=%d); test is vacuous",
+					moved, swapped, arrived)
+			}
+			// A re-Place on the same Placer must fully reset the arenas.
+			pl.SetHetero(caps, nil)
+			p = pl.Place(tc.pop, tc.mode, r)
+			checkAgainstRebuild(t, p, tl)
+		})
+	}
+}
+
+// TestHeteroArriveNodeRepadsDirectory pins the rebuild half of the
+// grow-or-rebuild contract: an arrival grows |S_j| for every file the
+// joining node drew, and the rebuild must re-pad each sparse file's
+// tile-directory capacity to min(|S_j|, Tiles) — so post-arrival churn
+// splices have the headroom the capacity panic assumes.
+func TestHeteroArriveNodeRepadsDirectory(t *testing.T) {
+	const side, m, k, maxCap = 8, 3, 60, 6
+	n := side * side
+	g := grid.New(side, grid.Torus)
+	tl := g.NewTiling(2)
+	pop := dist.NewUniform(k)
+	r := rand.New(rand.NewPCG(4, 44))
+	pl := NewPlacer(n, m, k)
+	pl.EnableHetero(maxCap)
+	pl.EnableTiles(tl)
+	pl.EnableChurn()
+	caps := heteroCaps(n, maxCap)
+	vacant := make([]bool, n)
+	u := int32(17)
+	caps[u] = maxCap // the arrival draws a full-width slab
+	vacant[u] = true
+	pl.SetHetero(caps, vacant)
+	p := pl.Place(pop, WithReplacement, r)
+
+	pl.ArriveNode(u, pop, WithReplacement, r)
+	if p.T(int(u)) == 0 {
+		t.Fatal("arrival left the node empty")
+	}
+	ix := p.TileIndex()
+	grown := 0
+	for j := 0; j < k; j++ {
+		want := int32(0)
+		if ix.FileBits(j) == nil {
+			want = min(int32(len(p.Replicas(j))), int32(tl.Tiles()))
+		}
+		if got := ix.dirOff[j+1] - ix.dirOff[j]; got != want {
+			t.Fatalf("file %d: directory capacity %d after arrival, want %d", j, got, want)
+		}
+	}
+	for _, f := range p.NodeFiles(int(u)) {
+		if ix.FileBits(int(f)) == nil {
+			grown++
+		}
+	}
+	if grown == 0 {
+		t.Fatal("arrival grew no sparse file; re-pad not exercised")
+	}
+	checkAgainstRebuild(t, p, tl)
+
+	// Post-arrival splices must still be legal against the re-padded
+	// directory.
+	moved := 0
+	for e := 0; e < 200; e++ {
+		slot := r.IntN(p.ReplicaSlots())
+		j, src := p.SlotReplica(slot)
+		v := int32(r.IntN(n))
+		if !vacantSkip(vacant, v) && p.CanReplace(j, src, v) {
+			p.ReplaceReplica(j, src, v)
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no post-arrival migration applied; splice headroom not exercised")
+	}
+	checkAgainstRebuild(t, p, tl)
+}
+
+func vacantSkip(vacant []bool, v int32) bool { return vacant[v] }
+
+// TestHeteroTileDirectoryOverflowPanics pins the loud half of the
+// grow-or-rebuild contract: a splice that needs a directory entry beyond
+// the file's padded capacity — the state a grown |S_j| reaches when a
+// caller skips the ArriveNode rebuild — must panic rather than corrupt a
+// neighbouring file's directory. The test forges the stale-capacity
+// state by clamping one file's capacity to its current length.
+func TestHeteroTileDirectoryOverflowPanics(t *testing.T) {
+	const side, m, k = 8, 3, 60
+	n := side * side
+	g := grid.New(side, grid.Torus)
+	tl := g.NewTiling(2)
+	pop := dist.NewUniform(k)
+	r := rand.New(rand.NewPCG(12, 13))
+	pl := NewPlacer(n, m, k)
+	pl.EnableTiles(tl)
+	pl.EnableChurn()
+	p := pl.Place(pop, WithReplacement, r)
+	ix := p.TileIndex()
+
+	// Find a migration that must insert a NEW directory entry without
+	// freeing one: u's tile run holds ≥ 2 replicas (no removal) and v's
+	// tile is absent from the directory (insertion).
+	for j := 0; j < k; j++ {
+		if ix.FileBits(j) != nil || len(p.Replicas(j)) < 2 {
+			continue
+		}
+		tiles, starts, segEnd := ix.FileRuns(j)
+		for d, tu := range tiles {
+			end := segEnd
+			if d+1 < len(starts) {
+				end = starts[d+1]
+			}
+			if end-starts[d] < 2 {
+				continue // removal would drop the entry and free a slot
+			}
+			u := ix.Nodes()[starts[d]]
+			for v := int32(0); v < int32(n); v++ {
+				tv := tl.TileOf(v)
+				if tv == tu || !p.CanReplace(j, u, v) {
+					continue
+				}
+				if _, present := slices.BinarySearch(tiles, tv); present {
+					continue
+				}
+				// Forge the stale capacity: pretend the build padded file
+				// j only to its current directory length.
+				ix.dirOff[j+1] = ix.dirOff[j] + ix.dirLen[j]
+				mustPanic(t, "directory overflow", func() { p.ReplaceReplica(j, u, v) })
+				return
+			}
+		}
+	}
+	t.Fatal("no overflow-inducing migration found; placement shape too degenerate")
+}
+
+// TestHeteroArriveNodePanics pins the precondition contract.
+func TestHeteroArriveNodePanics(t *testing.T) {
+	pop := dist.NewUniform(10)
+	r := rand.New(rand.NewPCG(1, 2))
+
+	plain := NewPlacer(9, 2, 10)
+	plain.EnableChurn()
+	plain.Place(pop, WithReplacement, r)
+	mustPanic(t, "no EnableHetero", func() { plain.ArriveNode(0, pop, WithReplacement, r) })
+
+	frozen := NewPlacer(9, 2, 10)
+	frozen.EnableHetero(2)
+	frozen.SetHetero([]int32{2, 2, 2, 2, 2, 2, 2, 2, 2}, nil)
+	frozen.Place(pop, WithReplacement, r)
+	mustPanic(t, "immutable layout", func() { frozen.ArriveNode(0, pop, WithReplacement, r) })
+
+	het := NewPlacer(9, 2, 10)
+	het.EnableHetero(2)
+	het.EnableChurn()
+	het.SetHetero([]int32{2, 2, 2, 2, 2, 2, 2, 2, 2}, make([]bool, 9))
+	p := het.Place(pop, WithReplacement, r)
+	var occupied int32 = -1
+	for u := 0; u < 9; u++ {
+		if p.T(u) > 0 {
+			occupied = int32(u)
+			break
+		}
+	}
+	if occupied < 0 {
+		t.Fatal("placement left every node empty")
+	}
+	mustPanic(t, "non-vacant node", func() { het.ArriveNode(occupied, pop, WithReplacement, r) })
+}

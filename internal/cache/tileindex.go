@@ -109,9 +109,11 @@ func (pl *Placer) EnableTiles(tl *grid.Tiling) {
 	}
 	pl.tiling = tl
 	pl.noSort = !pl.mutable // churn keeps lists sorted for in-place splices
-	arena := pl.n * min(pl.m, pl.k)
+	arena := pl.n * min(pl.slotCap(), pl.k)
 	wordsPer := (pl.n + 63) / 64
-	maxDense := min(8*pl.m, pl.k) // Σ|S_j| ≤ nM bounds files above n/8
+	// Σ|S_j| ≤ n·slotCap bounds files above n/8 (slotCap = M, or the
+	// heterogeneous maxCap under EnableHetero).
+	maxDense := min(8*pl.slotCap(), pl.k)
 	pl.tix = TileIndex{
 		tl:        tl,
 		nodes:     make([]int32, arena),

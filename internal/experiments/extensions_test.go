@@ -118,3 +118,36 @@ func TestPopularityDriftTiny(t *testing.T) {
 		t.Fatalf("drift: clairvoyant %.2f not below stale %.2f in late epochs", clairLoad, staleLoad)
 	}
 }
+
+func TestHeteroTiny(t *testing.T) {
+	opt := tinyOpt
+	opt.Trials = 2
+	tb, err := Hetero(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTable(t, tb)
+	if len(tb.Series) != 3 {
+		t.Fatalf("hetero table has %d series, want 3", len(tb.Series))
+	}
+	for _, s := range tb.Series {
+		if len(s.Points) != 3 {
+			t.Fatalf("%s has %d points, want one per profile", s.Name, len(s.Points))
+		}
+	}
+	// The arrival series must actually exercise the join machinery at the
+	// skewed profiles, and its vacancy counters must stay absent from the
+	// capacity series.
+	for _, s := range tb.Series {
+		arrival := s.Name == "two-choices/arrival"
+		for i, p := range s.Points {
+			_, ok := p.Extra["arrivals"]
+			if ok != arrival {
+				t.Fatalf("%s point %d: arrivals extra present=%v, want %v", s.Name, i, ok, arrival)
+			}
+			if arrival && p.Extra["arrivals"] <= 0 {
+				t.Fatalf("%s point %d: no arrival events recorded", s.Name, i)
+			}
+		}
+	}
+}

@@ -34,6 +34,7 @@ var registry = map[string]Runner{
 	"churn":            Churn,
 	"staleness":        Staleness,
 	"faults":           Faults,
+	"hetero":           Hetero,
 }
 
 // IDs returns all experiment identifiers, sorted.

@@ -92,7 +92,7 @@ func New(w *sim.World, era uint64) *Engine {
 	cfg := w.Config()
 	e := &Engine{
 		w:       w,
-		dynamic: cfg.Churn != sim.ChurnNone || cfg.Faults != sim.FaultsNone,
+		dynamic: cfg.Churn != sim.ChurnNone || cfg.Faults != sim.FaultsNone || cfg.Hetero == sim.HeteroArrival,
 		wake:    make(chan struct{}, 1),
 		reload:  make(chan uint64),
 		quit:    make(chan struct{}),
@@ -188,8 +188,12 @@ type Context struct {
 	snap  *sim.Snapshot
 	strat core.Strategy
 	loads *ballsbins.Loads
-	rng   *rand.Rand
-	id    uint64
+	// view is what the strategy compares through: loads itself on
+	// homogeneous worlds, a capacity-weighted wrapper (load/C_u) under a
+	// non-uniform hetero profile. Writes always hit loads directly.
+	view core.LoadReader
+	rng  *rand.Rand
+	id   uint64
 }
 
 // Get returns a decision context, reusing a pooled one when available.
@@ -218,6 +222,7 @@ func (e *Engine) newContext() *Context {
 		loads: ballsbins.NewLoads(e.w.N()),
 		id:    e.ctxSeq.Add(1) - 1,
 	}
+	c.view = snap.WrapLoads(c.loads)
 	c.seedRNG()
 	return c
 }
@@ -244,6 +249,10 @@ func (c *Context) refresh() {
 	c.strat = snap.Bind(c.strat)
 	if newEra {
 		c.loads.Reset()
+		// The weighted multipliers are era-scoped (redrawn per trial
+		// stream), so the comparison view re-wraps here and nowhere else —
+		// within an era every published clone shares the same vector.
+		c.view = snap.WrapLoads(c.loads)
 		c.seedRNG()
 	}
 }
@@ -259,9 +268,9 @@ func (c *Context) PlaceBatch(pairs []Pair, out []Decision) Stamp {
 		panic("serve: PlaceBatch needs len(out) == len(pairs)")
 	}
 	c.refresh()
-	strat, loads, rng := c.strat, c.loads, c.rng
+	strat, loads, view, rng := c.strat, c.loads, c.view, c.rng
 	for i, p := range pairs {
-		a := strat.Assign(core.Request{Origin: p.User, File: p.File}, loads, rng)
+		a := strat.Assign(core.Request{Origin: p.User, File: p.File}, view, rng)
 		loads.Add(int(a.Server))
 		out[i] = Decision{Node: a.Server, Hops: a.Hops, Retried: a.Retried}
 	}

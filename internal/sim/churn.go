@@ -47,6 +47,9 @@ type churnState struct {
 	driftWeights []float64
 	driftCond    *dist.CustomBuilder
 	driftPop     dist.Popularity
+	// vacant, when non-nil (HeteroArrival), marks nodes that have not yet
+	// joined: churn never migrates replicas onto them.
+	vacant []bool
 }
 
 // init allocates the drift machinery when the world's churn mode needs
@@ -114,7 +117,14 @@ func (cs *churnState) apply(w *World, p *cache.Placement, rng *rand.Rand, c int,
 			*skipped++
 			continue
 		}
-		if p.T(int(v)) < w.cfg.M {
+		// A vacant destination (HeteroArrival) must stay empty until its
+		// arrival event: its t = 0 would read as a free slot below and the
+		// swap branch would sample from an empty file list.
+		if cs.vacant != nil && cs.vacant[v] {
+			*skipped++
+			continue
+		}
+		if p.T(int(v)) < p.Cap(int(v)) {
 			// Destination has a free slot: plain migration.
 			p.ReplaceReplica(j, u, v)
 			*events++

@@ -10,12 +10,14 @@ import "testing"
 // name plus representative junk (case variants, whitespace, prefixes).
 
 // fuzzSeedInputs is the shared seed corpus: all canonical names of all
-// five parsers plus near-misses that must be rejected.
+// seven parsers plus near-misses that must be rejected.
 var fuzzSeedInputs = []string{
 	"", "none", "replicas", "drift", "deterministic", "racy",
 	"tiles", "resample", "escalate", "origin", "crash", "regional",
+	"capacity", "arrival", "uniform", "two-tier", "power-law",
 	"None", "CRASH", " crash", "crash ", "crashx", "regiona",
 	"tile", "det", "\x00", "日本語",
+	"Capacity", "arrivals", " uniform", "two-tier ", "powerlaw", "two_tier",
 }
 
 func fuzzParse[M comparable](f *testing.F, parse func(string) (M, error), valid map[string]M) {
@@ -67,5 +69,17 @@ func FuzzParseMiss(f *testing.F) {
 func FuzzParseFaults(f *testing.F) {
 	fuzzParse(f, ParseFaults, map[string]FaultsMode{
 		"": FaultsNone, "none": FaultsNone, "crash": FaultsCrash, "regional": FaultsRegional,
+	})
+}
+
+func FuzzParseHetero(f *testing.F) {
+	fuzzParse(f, ParseHetero, map[string]HeteroMode{
+		"": HeteroNone, "none": HeteroNone, "capacity": HeteroCapacity, "arrival": HeteroArrival,
+	})
+}
+
+func FuzzParseProfile(f *testing.F) {
+	fuzzParse(f, ParseProfile, map[string]CacheProfile{
+		"": ProfileUniform, "uniform": ProfileUniform, "two-tier": ProfileTwoTier, "power-law": ProfilePowerLaw,
 	})
 }

@@ -1,0 +1,199 @@
+package sim
+
+import "testing"
+
+// heteroPin is one (config, trial) → Result pair captured from the
+// heterogeneity engine at introduction time. The hetero regimes are new
+// seeded processes — HeteroNone never derives the namespace-8 stream
+// and is frozen by the six existing golden matrices, whose configs all
+// carry the zero-valued hetero fields — so these pins freeze the
+// profile draws and the arrival schedule from day one: any change to
+// the per-node cache-size draws (two-tier coin, power-law inverse
+// transform, clamps), the service-capacity weighting (capMultLCM
+// multipliers, WeightedLoads comparison), the vacancy coin, the
+// arrival credit accumulator, the vacant-list swap-delete order, or
+// the rebuild-on-arrival splice that perturbs seeded trajectories
+// must be deliberate and re-pinned.
+type heteroPin struct {
+	name  string
+	trial uint64
+	cfg   Config
+	want  Result
+}
+
+// TestGoldenMatrixHetero replays the hetero-mode matrix (hetero mode ×
+// profile × strategy × index × streams, plus churn-composed,
+// fault-composed, streaming-metrics and sharded variants) against the
+// captured outputs.
+func TestGoldenMatrixHetero(t *testing.T) {
+	for _, p := range heteroPins {
+		got, err := RunTrial(p.cfg, p.trial)
+		if err != nil {
+			t.Fatalf("%s t=%d: %v", p.name, p.trial, err)
+		}
+		if got != p.want {
+			t.Errorf("%s t=%d:\n got %+v\nwant %+v", p.name, p.trial, got, p.want)
+		}
+	}
+}
+
+// TestHeteroDegenerateBitIdentical pins the degenerate-profile
+// identity: HeteroCapacity with ProfileUniform draws every M_u = M and
+// every C_u = 1, allocates no multiplier vector, and therefore installs
+// no weighted view — the engine must reproduce the homogeneous
+// trajectories draw for draw, not merely statistically. Representative
+// pins from the head, index and churn matrices are replayed with the
+// hetero fields spelled out; any divergence means the uniform profile
+// consumed RNG or perturbed the comparison path.
+func TestHeteroDegenerateBitIdentical(t *testing.T) {
+	for _, i := range []int{0, 9, 25, 60, 101} {
+		p := headPins[i%len(headPins)]
+		p.cfg.Hetero = HeteroCapacity
+		p.cfg.Profile = ProfileUniform
+		got, err := RunTrial(p.cfg, p.trial)
+		if err != nil {
+			t.Fatalf("%s: %v", p.name, err)
+		}
+		if got != p.want {
+			t.Errorf("head pin %s t=%d diverged under degenerate HeteroCapacity:\n got %+v\nwant %+v",
+				p.name, p.trial, got, p.want)
+		}
+	}
+	for _, i := range []int{0, 11, 29, 44} {
+		p := indexPins[i%len(indexPins)]
+		p.cfg.Hetero = HeteroCapacity
+		p.cfg.Profile = ProfileUniform
+		got, err := RunTrial(p.cfg, p.trial)
+		if err != nil {
+			t.Fatalf("%s: %v", p.name, err)
+		}
+		if got != p.want {
+			t.Errorf("index pin %s t=%d diverged under degenerate HeteroCapacity:\n got %+v\nwant %+v",
+				p.name, p.trial, got, p.want)
+		}
+	}
+	for _, i := range []int{0, 7, 19} {
+		p := churnPins[i%len(churnPins)]
+		p.cfg.Hetero = HeteroCapacity
+		p.cfg.Profile = ProfileUniform
+		got, err := RunTrial(p.cfg, p.trial)
+		if err != nil {
+			t.Fatalf("%s: %v", p.name, err)
+		}
+		if got != p.want {
+			t.Errorf("churn pin %s t=%d diverged under degenerate HeteroCapacity:\n got %+v\nwant %+v",
+				p.name, p.trial, got, p.want)
+		}
+	}
+}
+
+var heteroPins = []heteroPin{
+	{name: "capacity/two-tier/two-choices/none/interleaved", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, Hetero: 1, Profile: 1, Seed: 0x63},
+		want: Result{MaxLoad: 118, MeanCost: 5.372802734375, Requests: 4096, Escalated: 2811, Backhaul: 0, Uncached: 33, ChurnEvents: 0, ChurnSkipped: 0, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 0, ArrivalSkipped: 0, Vacant: 0, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "capacity/two-tier/two-choices/none/interleaved", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, Hetero: 1, Profile: 1, Seed: 0x63},
+		want: Result{MaxLoad: 112, MeanCost: 5.358154296875, Requests: 4096, Escalated: 2822, Backhaul: 0, Uncached: 33, ChurnEvents: 0, ChurnSkipped: 0, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 0, ArrivalSkipped: 0, Vacant: 0, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "capacity/two-tier/two-choices/tiles/interleaved", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, Index: 1, Hetero: 1, Profile: 1, Seed: 0x63},
+		want: Result{MaxLoad: 121, MeanCost: 5.376953125, Requests: 4096, Escalated: 2812, Backhaul: 0, Uncached: 33, ChurnEvents: 0, ChurnSkipped: 0, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 0, ArrivalSkipped: 0, Vacant: 0, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "capacity/two-tier/two-choices/tiles/interleaved", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, Index: 1, Hetero: 1, Profile: 1, Seed: 0x63},
+		want: Result{MaxLoad: 104, MeanCost: 5.39208984375, Requests: 4096, Escalated: 2826, Backhaul: 0, Uncached: 33, ChurnEvents: 0, ChurnSkipped: 0, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 0, ArrivalSkipped: 0, Vacant: 0, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "capacity/two-tier/two-choices/none/split", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, Streams: 1, Hetero: 1, Profile: 1, Seed: 0x63},
+		want: Result{MaxLoad: 104, MeanCost: 5.43798828125, Requests: 4096, Escalated: 2879, Backhaul: 0, Uncached: 33, ChurnEvents: 0, ChurnSkipped: 0, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 0, ArrivalSkipped: 0, Vacant: 0, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "capacity/two-tier/two-choices/none/split", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, Streams: 1, Hetero: 1, Profile: 1, Seed: 0x63},
+		want: Result{MaxLoad: 127, MeanCost: 5.4423828125, Requests: 4096, Escalated: 2875, Backhaul: 0, Uncached: 33, ChurnEvents: 0, ChurnSkipped: 0, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 0, ArrivalSkipped: 0, Vacant: 0, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "capacity/power-law/two-choices/none/interleaved", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, Hetero: 1, Profile: 2, Seed: 0x63},
+		want: Result{MaxLoad: 177, MeanCost: 5.3525390625, Requests: 4096, Escalated: 2783, Backhaul: 0, Uncached: 33, ChurnEvents: 0, ChurnSkipped: 0, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 0, ArrivalSkipped: 0, Vacant: 0, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "capacity/power-law/two-choices/none/interleaved", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, Hetero: 1, Profile: 2, Seed: 0x63},
+		want: Result{MaxLoad: 217, MeanCost: 5.33349609375, Requests: 4096, Escalated: 2787, Backhaul: 0, Uncached: 25, ChurnEvents: 0, ChurnSkipped: 0, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 0, ArrivalSkipped: 0, Vacant: 0, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "capacity/power-law/two-choices/tiles/split", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, Streams: 1, Index: 1, Hetero: 1, Profile: 2, Seed: 0x63},
+		want: Result{MaxLoad: 186, MeanCost: 5.421630859375, Requests: 4096, Escalated: 2826, Backhaul: 0, Uncached: 33, ChurnEvents: 0, ChurnSkipped: 0, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 0, ArrivalSkipped: 0, Vacant: 0, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "capacity/power-law/two-choices/tiles/split", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, Streams: 1, Index: 1, Hetero: 1, Profile: 2, Seed: 0x63},
+		want: Result{MaxLoad: 212, MeanCost: 5.44775390625, Requests: 4096, Escalated: 2850, Backhaul: 0, Uncached: 25, ChurnEvents: 0, ChurnSkipped: 0, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 0, ArrivalSkipped: 0, Vacant: 0, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "capacity/two-tier/nearest", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 0}, Requests: 4096, Hetero: 1, Profile: 1, Seed: 0x63},
+		want: Result{MaxLoad: 113, MeanCost: 4.857177734375, Requests: 4096, Escalated: 0, Backhaul: 0, Uncached: 33, ChurnEvents: 0, ChurnSkipped: 0, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 0, ArrivalSkipped: 0, Vacant: 0, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "capacity/two-tier/nearest", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 0}, Requests: 4096, Hetero: 1, Profile: 1, Seed: 0x63},
+		want: Result{MaxLoad: 119, MeanCost: 4.897216796875, Requests: 4096, Escalated: 0, Backhaul: 0, Uncached: 33, ChurnEvents: 0, ChurnSkipped: 0, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 0, ArrivalSkipped: 0, Vacant: 0, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "capacity/power-law/oracle/tiles", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 3, Radius: 3}, Requests: 4096, Index: 1, Hetero: 1, Profile: 2, Seed: 0x63},
+		want: Result{MaxLoad: 151, MeanCost: 5.378173828125, Requests: 4096, Escalated: 2821, Backhaul: 0, Uncached: 33, ChurnEvents: 0, ChurnSkipped: 0, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 0, ArrivalSkipped: 0, Vacant: 0, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "capacity/power-law/oracle/tiles", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 3, Radius: 3}, Requests: 4096, Index: 1, Hetero: 1, Profile: 2, Seed: 0x63},
+		want: Result{MaxLoad: 188, MeanCost: 5.260498046875, Requests: 4096, Escalated: 2756, Backhaul: 0, Uncached: 25, ChurnEvents: 0, ChurnSkipped: 0, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 0, ArrivalSkipped: 0, Vacant: 0, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "capacity/two-tier/one-choice", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 2, Radius: 3}, Requests: 4096, Hetero: 1, Profile: 1, Seed: 0x63},
+		want: Result{MaxLoad: 121, MeanCost: 5.31005859375, Requests: 4096, Escalated: 2766, Backhaul: 0, Uncached: 33, ChurnEvents: 0, ChurnSkipped: 0, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 0, ArrivalSkipped: 0, Vacant: 0, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "capacity/two-tier/one-choice", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 2, Radius: 3}, Requests: 4096, Hetero: 1, Profile: 1, Seed: 0x63},
+		want: Result{MaxLoad: 114, MeanCost: 5.31787109375, Requests: 4096, Escalated: 2800, Backhaul: 0, Uncached: 33, ChurnEvents: 0, ChurnSkipped: 0, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 0, ArrivalSkipped: 0, Vacant: 0, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "capacity/two-tier/two-choices/churn-replicas", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, Churn: 1, ChurnRate: 0.5, Hetero: 1, Profile: 1, Seed: 0x63},
+		want: Result{MaxLoad: 94, MeanCost: 5.3544921875, Requests: 4096, Escalated: 2802, Backhaul: 0, Uncached: 33, ChurnEvents: 1482, ChurnSkipped: 54, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 0, ArrivalSkipped: 0, Vacant: 0, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "capacity/two-tier/two-choices/churn-replicas", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, Churn: 1, ChurnRate: 0.5, Hetero: 1, Profile: 1, Seed: 0x63},
+		want: Result{MaxLoad: 90, MeanCost: 5.35791015625, Requests: 4096, Escalated: 2795, Backhaul: 0, Uncached: 33, ChurnEvents: 1493, ChurnSkipped: 43, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 0, ArrivalSkipped: 0, Vacant: 0, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "capacity/power-law/two-choices/churn-drift", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, Churn: 2, ChurnRate: 0.5, Hetero: 1, Profile: 2, Seed: 0x63},
+		want: Result{MaxLoad: 219, MeanCost: 5.357666015625, Requests: 4096, Escalated: 2797, Backhaul: 0, Uncached: 33, ChurnEvents: 1485, ChurnSkipped: 51, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 0, ArrivalSkipped: 0, Vacant: 0, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "capacity/power-law/two-choices/churn-drift", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, Churn: 2, ChurnRate: 0.5, Hetero: 1, Profile: 2, Seed: 0x63},
+		want: Result{MaxLoad: 169, MeanCost: 5.26708984375, Requests: 4096, Escalated: 2758, Backhaul: 0, Uncached: 25, ChurnEvents: 1489, ChurnSkipped: 47, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 0, ArrivalSkipped: 0, Vacant: 0, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "capacity/two-tier/two-choices/faults-crash", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Faults: 1, FaultRate: 0.02, RecoverRate: 0.01, Hetero: 1, Profile: 1, Seed: 0x63},
+		want: Result{MaxLoad: 115, MeanCost: 3.98779296875, Requests: 4096, Escalated: 2110, Backhaul: 1044, Uncached: 33, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 61, RecoverEvents: 30, FaultSkipped: 0, DeadNodes: 31, DeadLoad: 918, Retried: 313, Availability: 0.7451171875, ArrivalEvents: 0, ArrivalSkipped: 0, Vacant: 0, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "capacity/two-tier/two-choices/faults-crash", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Faults: 1, FaultRate: 0.02, RecoverRate: 0.01, Hetero: 1, Profile: 1, Seed: 0x63},
+		want: Result{MaxLoad: 91, MeanCost: 4.000732421875, Requests: 4096, Escalated: 2126, Backhaul: 1084, Uncached: 33, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 61, RecoverEvents: 30, FaultSkipped: 0, DeadNodes: 31, DeadLoad: 830, Retried: 405, Availability: 0.7353515625, ArrivalEvents: 0, ArrivalSkipped: 0, Vacant: 0, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "capacity/two-tier/two-choices/streaming", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, Metrics: 2, Streams: 1, Hetero: 1, Profile: 1, Seed: 0x63},
+		want: Result{MaxLoad: 104, MeanCost: 5.43798828125, Requests: 4096, Escalated: 2879, Backhaul: 0, Uncached: 33, ChurnEvents: 0, ChurnSkipped: 0, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 0, ArrivalSkipped: 0, Vacant: 0, Streamed: true, HopMax: 12, HopStd: 2.693557140060985, LoadP99: 102, LinkMaxApprox: 86}},
+	{name: "capacity/two-tier/two-choices/streaming", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, Metrics: 2, Streams: 1, Hetero: 1, Profile: 1, Seed: 0x63},
+		want: Result{MaxLoad: 127, MeanCost: 5.4423828125, Requests: 4096, Escalated: 2875, Backhaul: 0, Uncached: 33, ChurnEvents: 0, ChurnSkipped: 0, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 0, ArrivalSkipped: 0, Vacant: 0, Streamed: true, HopMax: 12, HopStd: 2.691296619739495, LoadP99: 112, LinkMaxApprox: 83}},
+	{name: "arrival/two-tier/two-choices", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Hetero: 2, Profile: 1, ArrivalRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 81, MeanCost: 3.90625, Requests: 4096, Escalated: 2078, Backhaul: 1118, Uncached: 52, ChurnEvents: 0, ChurnSkipped: 0, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 30, ArrivalSkipped: 0, Vacant: 8, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "arrival/two-tier/two-choices", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Hetero: 2, Profile: 1, ArrivalRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 85, MeanCost: 3.85107421875, Requests: 4096, Escalated: 2045, Backhaul: 1200, Uncached: 48, ChurnEvents: 0, ChurnSkipped: 0, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 30, ArrivalSkipped: 0, Vacant: 3, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "arrival/power-law/two-choices/tiles", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Index: 1, Hetero: 2, Profile: 2, ArrivalRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 175, MeanCost: 4.00927734375, Requests: 4096, Escalated: 2120, Backhaul: 1094, Uncached: 49, ChurnEvents: 0, ChurnSkipped: 0, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 30, ArrivalSkipped: 0, Vacant: 8, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "arrival/power-law/two-choices/tiles", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Index: 1, Hetero: 2, Profile: 2, ArrivalRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 182, MeanCost: 4.24609375, Requests: 4096, Escalated: 2245, Backhaul: 825, Uncached: 35, ChurnEvents: 0, ChurnSkipped: 0, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 30, ArrivalSkipped: 0, Vacant: 3, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "arrival/power-law/two-choices/churn-replicas", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Churn: 1, ChurnRate: 0.5, Hetero: 2, Profile: 2, ArrivalRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 207, MeanCost: 4.046630859375, Requests: 4096, Escalated: 2150, Backhaul: 1083, Uncached: 49, ChurnEvents: 1270, ChurnSkipped: 266, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 30, ArrivalSkipped: 0, Vacant: 8, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "arrival/power-law/two-choices/churn-replicas", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Churn: 1, ChurnRate: 0.5, Hetero: 2, Profile: 2, ArrivalRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 194, MeanCost: 4.2578125, Requests: 4096, Escalated: 2249, Backhaul: 844, Uncached: 35, ChurnEvents: 1353, ChurnSkipped: 183, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 30, ArrivalSkipped: 0, Vacant: 3, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "arrival/two-tier/two-choices/faults-crash", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Faults: 1, FaultRate: 0.02, RecoverRate: 0.01, Hetero: 2, Profile: 1, ArrivalRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 88, MeanCost: 3.800048828125, Requests: 4096, Escalated: 2048, Backhaul: 1228, Uncached: 52, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 61, RecoverEvents: 30, FaultSkipped: 0, DeadNodes: 30, DeadLoad: 881, Retried: 270, Availability: 0.7001953125, ArrivalEvents: 30, ArrivalSkipped: 0, Vacant: 8, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "arrival/two-tier/two-choices/faults-crash", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Faults: 1, FaultRate: 0.02, RecoverRate: 0.01, Hetero: 2, Profile: 1, ArrivalRate: 0.01, Seed: 0x63},
+		want: Result{MaxLoad: 92, MeanCost: 3.714599609375, Requests: 4096, Escalated: 1985, Backhaul: 1331, Uncached: 48, ChurnEvents: 0, ChurnSkipped: 0, Faulted: true, FaultEvents: 61, RecoverEvents: 30, FaultSkipped: 0, DeadNodes: 28, DeadLoad: 893, Retried: 359, Availability: 0.675048828125, ArrivalEvents: 30, ArrivalSkipped: 0, Vacant: 3, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "capacity/two-tier/two-choices/sharded-p4", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, Streams: 1, Hetero: 1, Profile: 1, Workers: 4, Seed: 0x63},
+		want: Result{MaxLoad: 107, MeanCost: 5.364013671875, Requests: 4096, Escalated: 2798, Backhaul: 0, Uncached: 33, ChurnEvents: 0, ChurnSkipped: 0, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 0, ArrivalSkipped: 0, Vacant: 0, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "capacity/two-tier/two-choices/sharded-p4", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, Streams: 1, Hetero: 1, Profile: 1, Workers: 4, Seed: 0x63},
+		want: Result{MaxLoad: 106, MeanCost: 5.2900390625, Requests: 4096, Escalated: 2769, Backhaul: 0, Uncached: 33, ChurnEvents: 0, ChurnSkipped: 0, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 0, ArrivalSkipped: 0, Vacant: 0, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "arrival/power-law/two-choices/sharded-p4", trial: 0,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Streams: 1, Hetero: 2, Profile: 2, ArrivalRate: 0.01, Workers: 4, Seed: 0x63},
+		want: Result{MaxLoad: 173, MeanCost: 3.93701171875, Requests: 4096, Escalated: 2109, Backhaul: 1152, Uncached: 49, ChurnEvents: 0, ChurnSkipped: 0, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 30, ArrivalSkipped: 0, Vacant: 8, HopMax: 0, HopStd: 0, LoadP99: 0}},
+	{name: "arrival/power-law/two-choices/sharded-p4", trial: 1,
+		cfg:  Config{Side: 12, K: 150, M: 2, Strategy: StrategySpec{Kind: 1, Radius: 3}, Requests: 4096, MissPolicy: 1, Streams: 1, Hetero: 2, Profile: 2, ArrivalRate: 0.01, Workers: 4, Seed: 0x63},
+		want: Result{MaxLoad: 182, MeanCost: 4.357177734375, Requests: 4096, Escalated: 2314, Backhaul: 790, Uncached: 35, ChurnEvents: 0, ChurnSkipped: 0, Faulted: false, FaultEvents: 0, RecoverEvents: 0, FaultSkipped: 0, DeadNodes: 0, DeadLoad: 0, Retried: 0, Availability: 0, ArrivalEvents: 30, ArrivalSkipped: 0, Vacant: 3, HopMax: 0, HopStd: 0, LoadP99: 0}},
+}

@@ -1,0 +1,320 @@
+package sim
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/ballsbins"
+	"repro/internal/core"
+)
+
+// heteroArrivalBase is the arrival-regime reference configuration of the
+// invariance tests: power-law capacities, ~25% vacant start, 30 joins
+// over the trial at the default chunk cadence.
+func heteroArrivalBase() Config {
+	return Config{
+		Side: 12, K: 150, M: 2,
+		Strategy:    StrategySpec{Kind: TwoChoices, Radius: 3},
+		Requests:    4096,
+		MissPolicy:  MissEscalate,
+		Hetero:      HeteroArrival,
+		Profile:     ProfilePowerLaw,
+		ArrivalRate: 0.01,
+		Seed:        0x63,
+	}
+}
+
+// TestHeteroArrivalScheduleInvariance: the arrival schedule lives on the
+// dedicated namespace-8 stream, so which nodes start vacant, how many
+// join, and how many remain at trial end must be identical whichever
+// candidate index, request discipline or worker count the trial runs
+// under — those knobs perturb assignment, never the hetero stream.
+func TestHeteroArrivalScheduleInvariance(t *testing.T) {
+	base := heteroArrivalBase()
+	type sched struct{ events, skipped, vacant int }
+	want := map[uint64]sched{}
+	for trial := uint64(0); trial < 2; trial++ {
+		res, err := RunTrial(base, trial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ArrivalEvents == 0 {
+			t.Fatalf("t=%d: base config admits no arrivals; invariance test is vacuous", trial)
+		}
+		want[trial] = sched{res.ArrivalEvents, res.ArrivalSkipped, res.Vacant}
+	}
+	for _, v := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"tiles", func(c *Config) { c.Index = IndexTiles }},
+		{"split", func(c *Config) { c.Streams = StreamsSplit }},
+		{"split/p2", func(c *Config) { c.Streams = StreamsSplit; c.Workers = 2 }},
+		{"split/p4", func(c *Config) { c.Streams = StreamsSplit; c.Workers = 4 }},
+		{"churn-composed", func(c *Config) { c.Churn = ChurnReplicas; c.ChurnRate = 0.5 }},
+		{"faults-composed", func(c *Config) { c.Faults = FaultsCrash; c.FaultRate = 0.02; c.RecoverRate = 0.01 }},
+		{"two-tier", func(c *Config) { c.Profile = ProfileTwoTier }},
+	} {
+		cfg := base
+		v.mut(&cfg)
+		for trial := uint64(0); trial < 2; trial++ {
+			res, err := RunTrial(cfg, trial)
+			if err != nil {
+				t.Fatalf("%s t=%d: %v", v.name, trial, err)
+			}
+			got := sched{res.ArrivalEvents, res.ArrivalSkipped, res.Vacant}
+			w := want[trial]
+			// The profile draw precedes the vacancy coins on one stream, so
+			// a different profile may legitimately shift which nodes are
+			// vacant — but never the event count, which is pure credit
+			// arithmetic.
+			if v.name == "two-tier" {
+				if got.events+got.skipped != w.events+w.skipped {
+					t.Errorf("%s t=%d: scheduled arrivals %d, want %d",
+						v.name, trial, got.events+got.skipped, w.events+w.skipped)
+				}
+				continue
+			}
+			if got != w {
+				t.Errorf("%s t=%d: arrival schedule (events=%d skipped=%d vacant=%d), want (%d %d %d)",
+					v.name, trial, got.events, got.skipped, got.vacant, w.events, w.skipped, w.vacant)
+			}
+		}
+	}
+}
+
+// TestHeteroShardedWorkerInvariance extends the parallel-equivalence
+// property to the heterogeneity regimes: under ShardDeterministic a
+// hetero trial's Result — including the arrival counters and the
+// capacity-weighted assignment trajectory — is bit-identical across
+// every worker count.
+func TestHeteroShardedWorkerInvariance(t *testing.T) {
+	capacity := Config{
+		Side: 12, K: 150, M: 2,
+		Strategy: StrategySpec{Kind: TwoChoices, Radius: 3},
+		Requests: 4096,
+		Streams:  StreamsSplit,
+		Hetero:   HeteroCapacity,
+		Profile:  ProfileTwoTier,
+		Seed:     0x63,
+	}
+	arrival := heteroArrivalBase()
+	arrival.Streams = StreamsSplit
+	churned := arrival
+	churned.Index = IndexTiles
+	churned.Churn = ChurnReplicas
+	churned.ChurnRate = 0.5
+	for _, cfg := range []Config{capacity, arrival, churned} {
+		for _, chunk := range []int{64, 0} {
+			ref := cfg
+			ref.Workers, ref.Chunk = 1, chunk
+			wRef, err := Compile(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want [2]Result
+			for trial := range want {
+				want[trial] = wRef.RunTrial(uint64(trial))
+			}
+			for _, p := range []int{2, 3, 8} {
+				c := cfg
+				c.Workers, c.Chunk = p, chunk
+				w, err := Compile(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for trial := range want {
+					got := w.RunTrial(uint64(trial))
+					if got != want[trial] {
+						t.Errorf("%v/%v chunk=%d t=%d: P=%d diverged from P=1\n got %+v\nwant %+v",
+							cfg.Hetero, cfg.Profile, chunk, trial, p, got, want[trial])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHeteroShardedRacyStress hammers the racy shared-load mode while
+// arrivals rebuild the placement and tile index and churn splices it at
+// every barrier — the worst-case interleaving surface for the race
+// detector tier (the weighted view binds before workers spawn and the
+// multiplier vector is read-only during a chunk; anything else would be
+// flagged here).
+func TestHeteroShardedRacyStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	cfg := Config{
+		Side: 16, K: 400, M: 2,
+		Popularity:  PopSpec{Kind: PopZipf, Gamma: 1.1},
+		Strategy:    StrategySpec{Kind: TwoChoices, Radius: 3},
+		Requests:    8192,
+		MissPolicy:  MissEscalate,
+		Streams:     StreamsSplit,
+		Index:       IndexTiles,
+		Churn:       ChurnReplicas,
+		ChurnRate:   0.5,
+		Hetero:      HeteroArrival,
+		Profile:     ProfilePowerLaw,
+		ArrivalRate: 0.02,
+		Workers:     8,
+		Shard:       ShardRacy,
+		Seed:        0x5eed,
+	}
+	w, err := Compile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := uint64(0); trial < 3; trial++ {
+		res := w.RunTrial(trial)
+		if res.Requests != cfg.Requests {
+			t.Fatalf("t=%d: Requests = %d, want %d", trial, res.Requests, cfg.Requests)
+		}
+		if res.ArrivalEvents == 0 {
+			t.Fatalf("t=%d: no arrivals under the racy stress; rebuild path not exercised", trial)
+		}
+	}
+}
+
+// TestHeteroWeightedTwoChoicesUniformity: with every raw load zero the
+// weighted view ties all candidates regardless of their C_u, and the
+// two-choices draw over S_j ∩ B_r(u) must remain uniform — capacity
+// weighting biases the comparison, never the sampling. A chi-squared
+// statistic over the serving-node histogram of repeated identical
+// requests (loads never accumulated) checks the seeded draw against the
+// uniform law.
+func TestHeteroWeightedTwoChoicesUniformity(t *testing.T) {
+	cfg := Config{
+		Side: 12, K: 150, M: 2,
+		Strategy: StrategySpec{Kind: TwoChoices, Radius: 3},
+		Requests: 144,
+		Hetero:   HeteroCapacity,
+		Profile:  ProfileTwoTier,
+		Seed:     0x63,
+	}
+	w, err := Compile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := w.Snapshot(0)
+	if snap.heteroSt.mults == nil {
+		t.Fatal("two-tier profile installed no weighted view")
+	}
+	g := w.Grid()
+
+	// Find a (origin, file) pair whose in-radius replica set is non-trivial
+	// and capacity-mixed: uniformity must hold across distinct C_u.
+	origin, file := -1, -1
+	var support []int32
+	for u := 0; u < g.N() && file < 0; u++ {
+		for j := 0; j < cfg.K; j++ {
+			var cand []int32
+			for _, v := range snap.p.Replicas(j) {
+				if g.Dist(u, int(v)) <= cfg.Strategy.Radius {
+					cand = append(cand, v)
+				}
+			}
+			if len(cand) < 4 || len(cand) > 12 {
+				continue
+			}
+			mixed := false
+			for _, v := range cand[1:] {
+				if snap.heteroSt.mults[v] != snap.heteroSt.mults[cand[0]] {
+					mixed = true
+					break
+				}
+			}
+			if mixed {
+				origin, file, support = u, j, cand
+				break
+			}
+		}
+	}
+	if file < 0 {
+		t.Fatal("no capacity-mixed support set found; placement shape too degenerate")
+	}
+
+	strat := snap.NewStrategy()
+	loads := ballsbins.NewLoads(g.N())
+	view := snap.WrapLoads(loads)
+	rng := rand.New(rand.NewPCG(0xD1CE, 7))
+	inSupport := make(map[int32]int, len(support))
+	for _, v := range support {
+		inSupport[v] = 0
+	}
+	const draws = 20000
+	req := core.Request{Origin: int32(origin), File: int32(file)}
+	for i := 0; i < draws; i++ {
+		a := strat.Assign(req, view, rng)
+		if _, ok := inSupport[a.Server]; !ok {
+			t.Fatalf("draw %d served by node %d outside S_j ∩ B_r (support %v)", i, a.Server, support)
+		}
+		inSupport[a.Server]++
+	}
+	exp := float64(draws) / float64(len(support))
+	chi2 := 0.0
+	for _, obs := range inSupport {
+		d := float64(obs) - exp
+		chi2 += d * d / exp
+	}
+	// df = |support|-1 ≤ 11; the 99.9th percentile of chi²(11) is 31.3 —
+	// a seeded draw landing above that means the sampling is biased, not
+	// that the test is unlucky.
+	if chi2 > 31.3 {
+		t.Errorf("chi² = %.2f over %d support nodes (df=%d); weighted two-choices sampling is not uniform: %v",
+			chi2, len(support), len(support)-1, inSupport)
+	}
+}
+
+// TestHeteroSteadyStateAllocs holds the heterogeneity regimes to the
+// engine's allocation-free bar: profile draws, weighted-view rebinds and
+// in-place arrival rebuilds must all run out of the arenas sized at
+// compile time.
+func TestHeteroSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates and disables pool caching")
+	}
+	for _, variant := range []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"capacity-two-tier", func(c *Config) {
+			c.Hetero, c.Profile = HeteroCapacity, ProfileTwoTier
+		}},
+		{"capacity-power-law-tiles", func(c *Config) {
+			c.Hetero, c.Profile = HeteroCapacity, ProfilePowerLaw
+			c.Index = IndexTiles
+		}},
+		{"arrival-power-law-tiles-split", func(c *Config) {
+			c.Hetero, c.Profile, c.ArrivalRate = HeteroArrival, ProfilePowerLaw, 0.01
+			c.MissPolicy = MissEscalate
+			c.Index = IndexTiles
+			c.Streams = StreamsSplit
+		}},
+	} {
+		cfg := Config{
+			Side: 12, K: 150, M: 2,
+			Strategy: StrategySpec{Kind: TwoChoices, Radius: 3},
+			Requests: 4096,
+			Seed:     0x63,
+		}
+		variant.mut(&cfg)
+		w, err := Compile(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := w.NewRunner()
+		if res := r.RunTrial(0); cfg.Hetero == HeteroArrival && res.ArrivalEvents == 0 {
+			t.Fatalf("%s: no arrivals; the rebuild path is not exercised", variant.name)
+		}
+		r.RunTrial(1) // second warm-up: buffers at steady-state size
+		trial := uint64(2)
+		if n := testing.AllocsPerRun(3, func() {
+			r.RunTrial(trial)
+			trial++
+		}); n != 0 {
+			t.Errorf("%s: steady-state Runner.RunTrial allocates %.1f/op, want 0", variant.name, n)
+		}
+	}
+}

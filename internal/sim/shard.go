@@ -113,6 +113,7 @@ func (r *Runner) initShards() {
 func (r *Runner) runTrialSharded(t uint64) Result {
 	w := r.w
 	r.initShards()
+	arrivalRNG := r.armHetero(t)
 	placement := r.placer.Place(w.placeProfile, w.cfg.PlacementMode, r.place.stream(w.placeSrc, t))
 	for s := range r.shards {
 		st := &r.shards[s]
@@ -136,6 +137,9 @@ func (r *Runner) runTrialSharded(t uint64) Result {
 	} else {
 		r.shardLoads = r.loads
 	}
+	// Under capacity skew the strategies compare through the weighted
+	// view; writes, MaxLoad and the load summary stay on the raw vector.
+	r.shardView = r.wrapView(r.shardLoads)
 	r.shardT = t
 	r.shardSampler = r.fileSampler(placement)
 
@@ -249,6 +253,9 @@ func (r *Runner) runTrialSharded(t uint64) Result {
 			}
 		}
 		if base+c < w.nReq {
+			if arrivalRNG != nil {
+				r.arrivalChunk(arrivalRNG, c, &res)
+			}
 			if faultRNG != nil {
 				r.faultChunk(faultRNG, c, &res)
 			}
@@ -259,6 +266,7 @@ func (r *Runner) runTrialSharded(t uint64) Result {
 	}
 
 	res.Escalated, res.Backhaul, res.Retried = a.escalated, a.backhaul, a.retried
+	r.finishHetero(&res)
 	if links != nil {
 		res.MaxLinkLoad = links.Max()
 		res.LinkCongestion = links.CongestionFactor()
@@ -328,7 +336,7 @@ func (r *Runner) runShard(s int) {
 		}
 		for i := lo; i < hi; i++ {
 			req := core.Request{Origin: r.origins[i], File: r.files[i]}
-			a := st.strat.Assign(req, r.shardLoads, assignRNG)
+			a := st.strat.Assign(req, r.shardView, assignRNG)
 			if racy {
 				if v := r.atomicLoads.Add(int(a.Server)); v > st.maxSeen {
 					st.maxSeen = v

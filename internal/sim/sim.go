@@ -488,6 +488,20 @@ type Config struct {
 	// — the MTTR-style re-admission knob. 0 means crashes are permanent
 	// for the trial.
 	RecoverRate float64
+	// Hetero selects the node-heterogeneity regime (zero value:
+	// HeteroNone; see HeteroMode). Non-none heterogeneity draws per-node
+	// cache capacities M_u and service capacities C_u from Profile.
+	Hetero HeteroMode
+	// Profile selects the per-node capacity distribution under a
+	// non-none Hetero (zero value: ProfileUniform, the degenerate
+	// M_u ≡ M, C_u ≡ 1 profile; see CacheProfile).
+	Profile CacheProfile
+	// ArrivalRate is the expected number of node-arrival events per
+	// request under HeteroArrival: vacant nodes join the network
+	// mid-trial (placement grows, liveness admits them, strategies see
+	// them at the next chunk barrier). Events draw from the same
+	// dedicated hetero RNG stream as the capacity profile.
+	ArrivalRate float64
 	// CollectLinks is the pre-Metrics spelling of MetricsLinks, kept for
 	// compatibility: it upgrades MetricsScalar to MetricsLinks.
 	CollectLinks bool
@@ -561,6 +575,24 @@ func (c Config) validate() error {
 	if c.Faults != FaultsNone && c.MissPolicy == MissResample {
 		return fmt.Errorf("sim: faults mode %v cannot combine with MissPolicy=resample (the resampled stream conditions on cached files, not live ones); use MissEscalate or MissOrigin", c.Faults)
 	}
+	if c.Hetero < HeteroNone || c.Hetero > HeteroArrival {
+		return fmt.Errorf("sim: unknown hetero mode %d", int(c.Hetero))
+	}
+	if c.Profile < ProfileUniform || c.Profile > ProfilePowerLaw {
+		return fmt.Errorf("sim: unknown cache profile %d", int(c.Profile))
+	}
+	if c.Hetero == HeteroNone && c.Profile != ProfileUniform {
+		return fmt.Errorf("sim: Profile %v needs a hetero mode (set Config.Hetero)", c.Profile)
+	}
+	if c.Hetero != HeteroArrival && c.ArrivalRate != 0 {
+		return fmt.Errorf("sim: ArrivalRate %v needs Hetero=arrival", c.ArrivalRate)
+	}
+	if c.Hetero == HeteroArrival && c.ArrivalRate <= 0 {
+		return fmt.Errorf("sim: Hetero=arrival needs a positive ArrivalRate")
+	}
+	if c.Hetero == HeteroArrival && c.MissPolicy == MissResample {
+		return fmt.Errorf("sim: Hetero=arrival cannot combine with MissPolicy=resample (arrivals grow the cached set mid-trial, invalidating the conditioned stream); use MissEscalate or MissOrigin")
+	}
 	if c.CollectLinks && c.Metrics == MetricsStreaming {
 		return fmt.Errorf("sim: CollectLinks materializes per-link loads; it cannot combine with MetricsStreaming")
 	}
@@ -609,6 +641,13 @@ type Result struct {
 	DeadLoad      int     // load stranded on servers at their crash instants
 	Retried       int     // requests that rejected ≥ 1 dead candidate (degraded path)
 	Availability  float64 // served in-network: (Requests - Backhaul) / Requests
+
+	// Node-arrival counters, populated only under Hetero == HeteroArrival
+	// (HeteroCapacity leaves them zero, which is what keeps the
+	// degenerate-profile Result equal to HeteroNone's field for field).
+	ArrivalEvents  int // vacant nodes admitted this trial
+	ArrivalSkipped int // scheduled arrivals dropped (no vacant node left)
+	Vacant         int // nodes still vacant at trial end
 
 	// Link metrics, populated only in MetricsLinks mode (or the
 	// compatibility Config.CollectLinks spelling).
@@ -716,6 +755,12 @@ type Aggregate struct {
 	FaultSkipped  stats.Summary
 	DeadNodes     stats.Summary
 	DeadLoad      stats.Summary
+
+	// Node-arrival counters (only meaningful under Hetero ==
+	// HeteroArrival).
+	ArrivalEvents  stats.Summary
+	ArrivalSkipped stats.Summary
+	Vacant         stats.Summary
 }
 
 // Add folds one trial result into the aggregate.
@@ -753,6 +798,11 @@ func (a *Aggregate) Add(r Result) {
 		a.DeadNodes.Add(float64(r.DeadNodes))
 		a.DeadLoad.Add(float64(r.DeadLoad))
 	}
+	if r.ArrivalEvents > 0 || r.ArrivalSkipped > 0 || r.Vacant > 0 {
+		a.ArrivalEvents.Add(float64(r.ArrivalEvents))
+		a.ArrivalSkipped.Add(float64(r.ArrivalSkipped))
+		a.Vacant.Add(float64(r.Vacant))
+	}
 }
 
 // Merge folds another aggregate into a (parallel reduction).
@@ -778,6 +828,9 @@ func (a *Aggregate) Merge(o Aggregate) {
 	a.FaultSkipped.Merge(o.FaultSkipped)
 	a.DeadNodes.Merge(o.DeadNodes)
 	a.DeadLoad.Merge(o.DeadLoad)
+	a.ArrivalEvents.Merge(o.ArrivalEvents)
+	a.ArrivalSkipped.Merge(o.ArrivalSkipped)
+	a.Vacant.Merge(o.Vacant)
 }
 
 // String renders the headline metrics.

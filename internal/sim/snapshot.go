@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 
+	"repro/internal/ballsbins"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dist"
@@ -42,10 +43,16 @@ type Snapshot struct {
 
 	churnSt  churnState
 	faultSt  faultState
+	heteroSt heteroState
 	churnRNG *rand.Rand
 	faultRNG *rand.Rand
+	// arrivalRNG (HeteroArrival only) drives the era's arrival schedule;
+	// placer is retained because arrivals rebuild the placement's derived
+	// indexes through it. Both nil on clones, which cannot Advance.
+	arrivalRNG *rand.Rand
+	placer     *cache.Placer
 
-	ev Result // churn/fault event counters accumulated by Advance
+	ev Result // churn/fault/arrival event counters accumulated by Advance
 }
 
 // Snapshot compiles the served state for trial era t: the placement is
@@ -58,7 +65,12 @@ type Snapshot struct {
 // daemon's own batch cadence.
 func (w *World) Snapshot(t uint64) *Snapshot {
 	placer := cache.NewPlacer(w.g.N(), w.cfg.M, w.cfg.K)
-	// Churn layout first: EnableTiles keys its sort policy off it.
+	// Hetero layout first (EnableTiles and EnableChurn size arenas off
+	// its slot budget), then churn: EnableTiles keys its sort policy off
+	// the churn layout.
+	if w.cfg.Hetero != HeteroNone {
+		placer.EnableHetero(profileMaxCap(w.cfg.Profile, w.cfg.M))
+	}
 	placer.EnableChurn()
 	if w.tiling != nil {
 		placer.EnableTiles(w.tiling)
@@ -66,12 +78,25 @@ func (w *World) Snapshot(t uint64) *Snapshot {
 	// One reseedRand per role: stream() reuses its receiver's generator,
 	// so sharing one across roles would alias every stream to the last
 	// reseed.
-	var placeRR, churnRR, faultRR reseedRand
+	var placeRR, churnRR, faultRR, heteroRR reseedRand
 	s := &Snapshot{
 		w:   w,
-		p:   placer.Place(w.placeProfile, w.cfg.PlacementMode, placeRR.stream(w.placeSrc, t)),
 		era: t,
 	}
+	if w.cfg.Hetero != HeteroNone {
+		s.heteroSt.init(w)
+		rng := heteroRR.stream(w.heteroSrc, t)
+		s.heteroSt.arm(w, rng)
+		placer.SetHetero(s.heteroSt.caps, s.heteroSt.vacant)
+		if w.cfg.Hetero == HeteroArrival {
+			// The hetero RNG stays live for the era's arrival schedule,
+			// and the placer is retained: arrivals rebuild the replica and
+			// tile indexes through it.
+			s.arrivalRNG = rng
+			s.placer = placer
+		}
+	}
+	s.p = placer.Place(w.placeProfile, w.cfg.PlacementMode, placeRR.stream(w.placeSrc, t))
 	if w.cfg.MissPolicy == MissResample && s.p.UncachedCount() > 0 {
 		// Condition the request file stream on the cached set — invariant
 		// under churn (ReplaceReplica/SwapReplicas preserve it), so one
@@ -87,6 +112,7 @@ func (w *World) Snapshot(t uint64) *Snapshot {
 	if w.cfg.Churn != ChurnNone {
 		s.churnSt.init(w)
 		s.churnSt.reset()
+		s.churnSt.vacant = s.heteroSt.vacant // never migrate onto not-yet-arrived nodes
 		s.churnRNG = churnRR.stream(w.churnSrc, t)
 	}
 	if w.cfg.Faults != FaultsNone {
@@ -157,12 +183,17 @@ func (s *Snapshot) Bind(strat core.Strategy) core.Strategy {
 	return strat
 }
 
-// Advance applies the churn and fault schedules accrued by c served
-// requests, mutating the snapshot in place — fault events first, then
-// churn, the batch engine's chunk-barrier order. One call is the served
-// analogue of one pipeline chunk boundary. Only the single mutator
-// goroutine may call Advance; concurrent readers must hold a Clone.
+// Advance applies the arrival, fault and churn schedules accrued by c
+// served requests, mutating the snapshot in place — arrivals first,
+// then faults, then churn, the batch engine's chunk-barrier order. One
+// call is the served analogue of one pipeline chunk boundary. Only the
+// single mutator goroutine may call Advance; concurrent readers must
+// hold a Clone.
 func (s *Snapshot) Advance(c int) {
+	if s.arrivalRNG != nil {
+		s.heteroSt.applyArrivals(s.w, s.placer, s.live, s.arrivalRNG, c,
+			&s.ev.ArrivalEvents, &s.ev.ArrivalSkipped)
+	}
 	if s.faultRNG != nil {
 		s.faultSt.apply(s.w, s.live, s.faultRNG, c, nil, &s.ev)
 	}
@@ -189,7 +220,21 @@ func (s *Snapshot) Clone() *Snapshot {
 	if s.live != nil {
 		c.live = s.live.Clone()
 	}
+	// The weighted-view multipliers are immutable for the era (arrivals
+	// change caps' occupancy, never C_u), so clones share the slice.
+	c.heteroSt.mults = s.heteroSt.mults
 	return c
+}
+
+// WrapLoads returns the load view strategies bound to this snapshot
+// should compare through: l itself for homogeneous (or uniform-profile)
+// worlds, a capacity-weighted wrapper otherwise. Writes always go to
+// the raw vector; only the comparison view is weighted.
+func (s *Snapshot) WrapLoads(l core.LoadReader) core.LoadReader {
+	if s.heteroSt.mults == nil {
+		return l
+	}
+	return ballsbins.NewWeightedLoads(l, s.heteroSt.mults)
 }
 
 // Info returns the snapshot's era diagnostics — the state-version stamp
@@ -208,6 +253,9 @@ func (s *Snapshot) Info() SnapshotInfo {
 	if s.live != nil {
 		info.DeadNodes = s.live.DeadCount()
 	}
+	info.ArrivalEvents = s.ev.ArrivalEvents
+	info.ArrivalSkipped = s.ev.ArrivalSkipped
+	info.Vacant = len(s.heteroSt.vacantList)
 	return info
 }
 
@@ -225,14 +273,24 @@ type SnapshotInfo struct {
 	RecoverEvents int    // recovery events applied
 	FaultSkipped  int    // infeasible fault events dropped
 	DeadNodes     int    // currently dead nodes
+
+	ArrivalEvents  int // node arrivals applied (HeteroArrival)
+	ArrivalSkipped int // arrival events burned with no vacant node left
+	Vacant         int // currently vacant (not-yet-arrived) nodes
 }
 
 // String renders the stamp in the compact era=…/seq=… form both
-// cachesim -v and the daemon logs use.
+// cachesim -v and the daemon logs use. The arrival counters render only
+// when the arrival process is in play, so homogeneous stamps keep their
+// historical shape.
 func (i SnapshotInfo) String() string {
-	return fmt.Sprintf("era=%d seq=%d uncached=%d churn=%d/%d faults=%d/%d/%d dead=%d",
+	s := fmt.Sprintf("era=%d seq=%d uncached=%d churn=%d/%d faults=%d/%d/%d dead=%d",
 		i.Era, i.Seq, i.Uncached, i.ChurnEvents, i.ChurnSkipped,
 		i.FaultEvents, i.RecoverEvents, i.FaultSkipped, i.DeadNodes)
+	if i.ArrivalEvents > 0 || i.ArrivalSkipped > 0 || i.Vacant > 0 {
+		s += fmt.Sprintf(" arrivals=%d/%d vacant=%d", i.ArrivalEvents, i.ArrivalSkipped, i.Vacant)
+	}
+	return s
 }
 
 // RequestStream returns the split-discipline request generation streams

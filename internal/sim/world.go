@@ -68,6 +68,7 @@ type World struct {
 	assignSrc    xrand.Source // namespace 5: split-discipline assignment streams
 	churnSrc     xrand.Source // namespace 6: churn event streams
 	faultSrc     xrand.Source // namespace 7: fault event streams
+	heteroSrc    xrand.Source // namespace 8: hetero profile + arrival streams
 	nReq         int
 	metrics      MetricsMode  // resolved (CollectLinks folded in)
 	chunk        int          // request-pipeline block size (tests override)
@@ -94,6 +95,7 @@ func Compile(cfg Config) (*World, error) {
 		assignSrc: src.Split(5),
 		churnSrc:  src.Split(6),
 		faultSrc:  src.Split(7),
+		heteroSrc: src.Split(8),
 		metrics:   cfg.Metrics,
 		chunk:     defaultChunk,
 	}
@@ -241,7 +243,16 @@ type Runner struct {
 	weights []float64
 	cond    *dist.CustomBuilder
 
-	place, req, origin, file, assign, churn, fault reseedRand
+	place, req, origin, file, assign, churn, fault, hetero reseedRand
+
+	// Heterogeneity state (Config.Hetero != HeteroNone): the per-trial
+	// capacity profile and vacancy scratch, the weighted load view bound
+	// into the strategies' comparisons, and the reader the sequential
+	// engine routes Assign through (the raw vector under HeteroNone or
+	// ProfileUniform — see hetero.go).
+	heteroSt heteroState
+	weighted *ballsbins.WeightedLoads
+	loadView core.LoadReader
 
 	// Churn state (Config.Churn != ChurnNone): the event schedule and
 	// drift machinery, shared with the served mode's snapshots (see
@@ -282,7 +293,8 @@ type Runner struct {
 	shardBase    int
 	shardC       int
 	shardSampler dist.Popularity
-	shardLoads   core.LoadReader
+	shardLoads   core.LoadReader // raw per-chunk reader (frozen or atomic)
+	shardView    core.LoadReader // what Assign compares through: shardLoads, weighted under capacity skew
 	shardRacy    bool
 }
 
@@ -337,6 +349,11 @@ const (
 func (w *World) NewRunner() *Runner {
 	b := min(w.chunk, w.nReq)
 	placer := cache.NewPlacer(w.g.N(), w.cfg.M, w.cfg.K)
+	// Hetero layout first: EnableTiles and EnableChurn size their arenas
+	// off the per-node slot budget EnableHetero installs.
+	if w.cfg.Hetero != HeteroNone {
+		placer.EnableHetero(profileMaxCap(w.cfg.Profile, w.cfg.M))
+	}
 	if w.tiling != nil {
 		placer.EnableTiles(w.tiling)
 	}
@@ -350,9 +367,22 @@ func (w *World) NewRunner() *Runner {
 		hops:    make([]int32, b),
 		flags:   make([]uint8, b),
 	}
-	if w.cfg.Churn != ChurnNone {
+	if w.cfg.Hetero != HeteroNone {
+		r.heteroSt.init(w)
+		if r.heteroSt.mults != nil {
+			r.weighted = &ballsbins.WeightedLoads{}
+		}
+	}
+	// Arrivals mutate the placement mid-trial, so HeteroArrival needs the
+	// churn (mutable slab) layout even with churn itself off.
+	if w.cfg.Churn != ChurnNone || w.cfg.Hetero == HeteroArrival {
 		placer.EnableChurn()
+	}
+	if w.cfg.Churn != ChurnNone {
 		r.churnSt.init(w)
+		// Churn must not target vacant nodes: a not-yet-arrived node has
+		// no cache to receive migrated replicas.
+		r.churnSt.vacant = r.heteroSt.vacant
 	}
 	if w.cfg.Faults != FaultsNone {
 		r.live = cache.NewLiveness(w.g.N())
@@ -418,12 +448,17 @@ func (r *Runner) RunTrial(t uint64) Result {
 		return r.runTrialSharded(t)
 	}
 	w := r.w
+	// The hetero stream (namespace 8) is derived only for non-none modes;
+	// it installs the trial's capacity/vacancy vectors ahead of Place and
+	// stays live for the arrival schedule under HeteroArrival.
+	arrivalRNG := r.armHetero(t)
 	placement := r.placer.Place(w.placeProfile, w.cfg.PlacementMode, r.place.stream(w.placeSrc, t))
 	strat := r.strategy(placement)
 	fileSampler := r.fileSampler(placement)
 
 	n := w.g.N()
 	r.loads.Reset()
+	r.loadView = r.wrapView(r.loads)
 	res := Result{Requests: w.nReq, Uncached: placement.UncachedCount()}
 	var links *routing.LinkLoads
 	var hopAcc *stats.Accumulator
@@ -474,6 +509,9 @@ func (r *Runner) RunTrial(t uint64) Result {
 			r.generateAssign(strat, fileSampler, reqRNG, c)
 			r.account(c, &a, links, hopAcc)
 			if base+c < w.nReq {
+				if arrivalRNG != nil {
+					r.arrivalChunk(arrivalRNG, c, &res)
+				}
 				if faultRNG != nil {
 					r.faultChunk(faultRNG, c, &res)
 				}
@@ -492,6 +530,9 @@ func (r *Runner) RunTrial(t uint64) Result {
 			r.assignChunk(strat, assignRNG, c)
 			r.account(c, &a, links, hopAcc)
 			if base+c < w.nReq {
+				if arrivalRNG != nil {
+					r.arrivalChunk(arrivalRNG, c, &res)
+				}
 				if faultRNG != nil {
 					r.faultChunk(faultRNG, c, &res)
 				}
@@ -503,6 +544,7 @@ func (r *Runner) RunTrial(t uint64) Result {
 	}
 
 	res.Escalated, res.Backhaul, res.Retried = a.escalated, a.backhaul, a.retried
+	r.finishHetero(&res)
 	r.finishFaults(&res)
 	if links != nil {
 		res.MaxLinkLoad = links.Max()
@@ -539,7 +581,7 @@ func (r *Runner) generateAssign(strat core.Strategy, pop dist.Popularity, rng *r
 			File:   int32(pop.Sample(rng)),
 		}
 		r.origins[i] = req.Origin
-		r.record(i, strat.Assign(req, r.loads, rng))
+		r.record(i, strat.Assign(req, r.loadView, rng))
 	}
 }
 
@@ -549,7 +591,7 @@ func (r *Runner) generateAssign(strat core.Strategy, pop dist.Popularity, rng *r
 func (r *Runner) assignChunk(strat core.Strategy, rng *rand.Rand, c int) {
 	for i := 0; i < c; i++ {
 		req := core.Request{Origin: r.origins[i], File: r.files[i]}
-		r.record(i, strat.Assign(req, r.loads, rng))
+		r.record(i, strat.Assign(req, r.loadView, rng))
 	}
 }
 

@@ -158,6 +158,48 @@ func BenchmarkWideWorldTrialFaults(b *testing.B) {
 	benchWideWorld(b, cfg)
 }
 
+// BenchmarkWideWorldTrialHetero is the wide-world trial with the
+// heterogeneity engine live: power-law per-node cache sizes under
+// HeteroCapacity, so every two-choices comparison reads loads through
+// the capacity-weighted view and the placement build runs the
+// variable-stride CSR path. Measures the steady-state cost of the
+// weighted reads plus the per-trial profile draw on top of the
+// homogeneous BenchmarkWideWorldTrial.
+func BenchmarkWideWorldTrialHetero(b *testing.B) {
+	cfg := wideWorldCfg(IndexTiles)
+	cfg.Hetero = HeteroCapacity
+	cfg.Profile = ProfilePowerLaw
+	benchWideWorld(b, cfg)
+}
+
+// BenchmarkWorldRunTrialHeteroArrival is the open-system regime at the
+// paper-scale point (compare BenchmarkWorldRunTrialChurn): ~25% of the
+// nodes start vacant and join at chunk barriers, and every join refills
+// the node's slots and rebuilds the replica index and tile index —
+// an O(n·M) rebuild per event, which is why this benchmark lives at
+// paper scale: at the wide-world point the per-join rebuild alone is
+// ~10⁷ entries and arrivals would dominate the trial by orders of
+// magnitude. MissEscalate handles requests whose in-radius candidates
+// are still vacant.
+func BenchmarkWorldRunTrialHeteroArrival(b *testing.B) {
+	cfg := paperScaleCfg()
+	cfg.Index = IndexTiles
+	cfg.MissPolicy = MissEscalate
+	cfg.Hetero = HeteroArrival
+	cfg.Profile = ProfilePowerLaw
+	cfg.ArrivalRate = 0.01
+	w, err := Compile(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := w.NewRunner()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.RunTrial(uint64(i))
+	}
+}
+
 // BenchmarkCompile measures the trial-invariant setup the World layer
 // amortizes (grid + coordinate tables, Zipf PMF + alias table, placement
 // profile, RNG sources).

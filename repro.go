@@ -196,9 +196,21 @@ type (
 	// strategies masking dead nodes through a graceful-degradation
 	// ladder.
 	FaultsMode = sim.FaultsMode
+	// HeteroMode selects the node-heterogeneity regime (none, capacity or
+	// arrival): per-node cache sizes M_u and service capacities C_u drawn
+	// from Config.Profile, with the arrival variant growing the network
+	// mid-trial as vacant nodes join.
+	HeteroMode = sim.HeteroMode
+	// CacheProfile selects the per-node (M_u, C_u) distribution of the
+	// heterogeneous regimes (uniform, two-tier or power-law).
+	CacheProfile = sim.CacheProfile
 	// AtomicLoads is the lock-free shared load vector of the racy
 	// sharded mode (atomic adds, unsynchronized stale reads).
 	AtomicLoads = ballsbins.AtomicLoads
+	// WeightedLoads is the capacity-normalized load view of the
+	// heterogeneous regimes: strategies compare load/C_u through it while
+	// writes stay on the raw vector.
+	WeightedLoads = ballsbins.WeightedLoads
 	// SpaceSaving is the heavy-hitter sketch behind the streaming mode's
 	// approximate max-link-load (Result.LinkMaxApprox).
 	SpaceSaving = stats.SpaceSaving
@@ -276,6 +288,29 @@ const (
 	FaultsRegional = sim.FaultsRegional
 )
 
+// Heterogeneity regime constants for Config.Hetero.
+const (
+	// HeteroNone is the homogeneous paper model (default, golden-pinned).
+	HeteroNone = sim.HeteroNone
+	// HeteroCapacity draws per-node cache sizes and service capacities
+	// from Config.Profile; two-choices compares load/C_u.
+	HeteroCapacity = sim.HeteroCapacity
+	// HeteroArrival is HeteroCapacity plus mid-trial node arrivals at
+	// Config.ArrivalRate expected joins per request.
+	HeteroArrival = sim.HeteroArrival
+)
+
+// Cache-profile constants for Config.Profile.
+const (
+	// ProfileUniform is the degenerate profile M_u = M, C_u = 1
+	// (bit-identical to the homogeneous engine).
+	ProfileUniform = sim.ProfileUniform
+	// ProfileTwoTier makes ~25% of nodes big (2M slots, double rate).
+	ProfileTwoTier = sim.ProfileTwoTier
+	// ProfilePowerLaw draws Pareto-tailed cache sizes in [1, 8M].
+	ProfilePowerLaw = sim.ProfilePowerLaw
+)
+
 // Link-sketch bounds for Result.LinkMaxApprox (MetricsStreaming): the
 // sketch holds LinkSketchCap directed-link counters and runs on worlds
 // with at most LinkSketchMaxN nodes; larger worlds report 0. See
@@ -304,6 +339,18 @@ func ParseMiss(s string) (MissPolicy, error) { return sim.ParseMiss(s) }
 
 // ParseShard converts a CLI name into a ShardMode.
 func ParseShard(s string) (ShardMode, error) { return sim.ParseShard(s) }
+
+// ParseHetero converts a CLI name into a HeteroMode.
+func ParseHetero(s string) (HeteroMode, error) { return sim.ParseHetero(s) }
+
+// ParseProfile converts a CLI name into a CacheProfile.
+func ParseProfile(s string) (CacheProfile, error) { return sim.ParseProfile(s) }
+
+// NewWeightedLoads returns a capacity-weighted view of inner under mult
+// (per-bin positive multipliers). See ballsbins.NewWeightedLoads.
+func NewWeightedLoads(inner interface{ Load(i int) int }, mult []int32) *WeightedLoads {
+	return ballsbins.NewWeightedLoads(inner, mult)
+}
 
 // NewAtomicLoads returns an all-zero atomic load vector over n bins.
 func NewAtomicLoads(n int) *AtomicLoads { return ballsbins.NewAtomicLoads(n) }
